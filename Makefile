@@ -1,0 +1,31 @@
+.PHONY: all build test bench quick-bench examples doc clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Every table and figure of the paper, full size (~1 min).
+bench:
+	dune exec bench/main.exe
+
+# Scaled-down random suites for a fast smoke run.
+quick-bench:
+	dune exec bench/main.exe -- --quick
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/av_encoder.exe
+	dune exec examples/design_space.exe
+	dune exec examples/contention.exe
+	dune exec examples/custom_platform.exe
+	dune exec examples/periodic_pipeline.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

@@ -1,0 +1,176 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md's experiment index), plus Bechamel
+   micro-benchmarks of the schedulers and the timeline substrate.
+
+   Usage:
+     dune exec bench/main.exe                 # every experiment, paper size
+     dune exec bench/main.exe -- --quick      # scaled-down graphs
+     dune exec bench/main.exe -- fig5 tab1    # a subset
+   Experiments: fig5 fig6 tab1 tab2 tab3 fig7 split ablation micro. *)
+
+let section title =
+  Printf.printf "\n================ %s ================\n%!" title
+
+let run_fig ~quick kind title =
+  section title;
+  let scale = if quick then Some 0.2 else None in
+  let result = Noc_experiments.Random_suite.run ?scale kind in
+  print_string (Noc_experiments.Random_suite.render result)
+
+let fig5 ~quick = run_fig ~quick Noc_tgff.Category.Category_i
+    "Fig. 5: random benchmarks, category I (energy, nJ)"
+
+let fig6 ~quick = run_fig ~quick Noc_tgff.Category.Category_ii
+    "Fig. 6: random benchmarks, category II (tight deadlines)"
+
+let tab which title =
+  section title;
+  print_string (Noc_experiments.Msb_tables.render (Noc_experiments.Msb_tables.run which))
+
+let fig7 () =
+  section "Fig. 7: performance / energy trade-off";
+  print_string (Noc_experiments.Tradeoff.render (Noc_experiments.Tradeoff.run ()))
+
+let split () =
+  section "Sec. 6.2 in-text: computation/communication energy split";
+  print_string (Noc_experiments.Energy_split.render (Noc_experiments.Energy_split.run ()))
+
+let ablation () =
+  section "Ablation: contention-aware vs fixed-delay communication";
+  print_string (Noc_experiments.Ablation.render (Noc_experiments.Ablation.run ()))
+
+let topo () =
+  section "Extension (Sec. 7): mesh vs torus vs honeycomb";
+  print_string
+    (Noc_experiments.Topology_compare.render (Noc_experiments.Topology_compare.run ()))
+
+let weights () =
+  section "Ablation: slack-weighting schemes (EAS Step 1)";
+  print_string
+    (Noc_experiments.Weight_ablation.render (Noc_experiments.Weight_ablation.run ()))
+
+let buffering () =
+  section "Eq. (1) validation: measured buffering energy";
+  print_string (Noc_experiments.Buffering.render (Noc_experiments.Buffering.run ()))
+
+let baselines () =
+  section "Extended baselines: EAS vs EDF vs DLS vs energy-greedy";
+  print_string
+    (Noc_experiments.Baselines_compare.render (Noc_experiments.Baselines_compare.run ()))
+
+let dvs () =
+  section "Extension: DVS slack reclamation on top of EAS";
+  print_string
+    (Noc_experiments.Dvs_extension.render (Noc_experiments.Dvs_extension.run ()))
+
+let repair_moves ~quick =
+  section "Ablation: repair move kinds (EAS Step 3)";
+  let scale = if quick then Some 0.3 else None in
+  print_string
+    (Noc_experiments.Repair_ablation.render (Noc_experiments.Repair_ablation.run ?scale ()))
+
+let micro () =
+  section "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols:4 ~rows:4 () in
+  let params = { Noc_tgff.Params.default with n_tasks = 60 } in
+  let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed:0 in
+  let msb = Noc_msb.Graphs.integrated ~platform:Noc_msb.Platforms.av_3x3
+      ~clip:Noc_msb.Profile.Foreman () in
+  let tests =
+    Test.make_grouped ~name:"nocsched"
+      [
+        Test.make ~name:"eas/tgff-60"
+          (Staged.stage (fun () ->
+               ignore (Noc_eas.Eas.schedule platform ctg)));
+        Test.make ~name:"eas-base/tgff-60"
+          (Staged.stage (fun () ->
+               ignore (Noc_eas.Eas.schedule ~repair:false platform ctg)));
+        Test.make ~name:"edf/tgff-60"
+          (Staged.stage (fun () -> ignore (Noc_edf.Edf.schedule platform ctg)));
+        Test.make ~name:"eas/msb-40"
+          (Staged.stage (fun () ->
+               ignore (Noc_eas.Eas.schedule Noc_msb.Platforms.av_3x3 msb)));
+        Test.make ~name:"budget/tgff-60"
+          (Staged.stage (fun () -> ignore (Noc_eas.Budget.compute ctg)));
+        Test.make ~name:"simulate/msb-40"
+          (Staged.stage
+             (let s =
+                (Noc_eas.Eas.schedule Noc_msb.Platforms.av_3x3 msb).schedule
+              in
+              fun () -> ignore (Noc_sim.Executor.run Noc_msb.Platforms.av_3x3 msb s)));
+        Test.make ~name:"timeline-list/reserve-gap"
+          (Staged.stage (fun () ->
+               let tl = Noc_util.Timeline.create () in
+               for i = 0 to 99 do
+                 let start = float_of_int (2 * i) in
+                 Noc_util.Timeline.reserve tl
+                   (Noc_util.Interval.make ~start ~stop:(start +. 1.))
+               done;
+               ignore (Noc_util.Timeline.earliest_gap tl ~after:0. ~duration:1.5)));
+        Test.make ~name:"timeline-map/reserve-gap"
+          (Staged.stage (fun () ->
+               let tl = Noc_util.Timeline_map.create () in
+               for i = 0 to 99 do
+                 let start = float_of_int (2 * i) in
+                 Noc_util.Timeline_map.reserve tl
+                   (Noc_util.Interval.make ~start ~stop:(start +. 1.))
+               done;
+               ignore (Noc_util.Timeline_map.earliest_gap tl ~after:0. ~duration:1.5)));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with Some (t :: _) -> t | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) -> Printf.printf "%-28s %12.1f ns/run (%.3f ms)\n" name ns (ns /. 1e6))
+    (List.sort compare !rows)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "--quick" args in
+  let wanted = List.filter (fun a -> a <> "--quick") args in
+  let all =
+    [
+      "fig5"; "fig6"; "tab1"; "tab2"; "tab3"; "fig7"; "split"; "ablation"; "topo";
+      "weights"; "repairmoves"; "dvs"; "baselines"; "buffering";
+    ]
+  in
+  let wanted = if wanted = [] then all else wanted in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (function
+      | "fig5" -> fig5 ~quick
+      | "fig6" -> fig6 ~quick
+      | "tab1" -> tab Noc_experiments.Msb_tables.Encoder "Table 1: A/V encoder"
+      | "tab2" -> tab Noc_experiments.Msb_tables.Decoder "Table 2: A/V decoder"
+      | "tab3" ->
+        tab Noc_experiments.Msb_tables.Integrated "Table 3: A/V encoder/decoder"
+      | "fig7" -> fig7 ()
+      | "split" -> split ()
+      | "ablation" -> ablation ()
+      | "topo" -> topo ()
+      | "weights" -> weights ()
+      | "repairmoves" -> repair_moves ~quick
+      | "dvs" -> dvs ()
+      | "baselines" -> baselines ()
+      | "buffering" -> buffering ()
+      | "micro" -> micro ()
+      | other ->
+        Printf.eprintf "unknown experiment %S (known: %s micro)\n" other
+          (String.concat " " all);
+        exit 2)
+    wanted;
+  Printf.printf "\ntotal wall time: %.1f s\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,343 @@
+(* nocsched: command-line front end.
+
+   Subcommands:
+     generate    emit a random TGFF-like CTG (summary or Graphviz)
+     schedule    run a scheduler on a benchmark and print metrics/Gantt
+     simulate    replay a schedule on the wormhole executor
+     experiment  regenerate one of the paper's tables/figures *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing.                                            *)
+
+let mesh_conv =
+  let parse s =
+    match String.split_on_char 'x' (String.lowercase_ascii s) with
+    | [ c; r ] -> (
+      match (int_of_string_opt c, int_of_string_opt r) with
+      | Some cols, Some rows when cols > 0 && rows > 0 -> Ok (cols, rows)
+      | Some _, Some _ | None, Some _ | Some _, None | None, None ->
+        Error (`Msg "mesh must be COLSxROWS with positive integers"))
+    | _ :: _ | [] -> Error (`Msg "mesh must look like 4x4")
+  in
+  let print ppf (c, r) = Format.fprintf ppf "%dx%d" c r in
+  Arg.conv (parse, print)
+
+let mesh_arg =
+  Arg.(value & opt mesh_conv (4, 4) & info [ "mesh" ] ~docv:"CxR"
+         ~doc:"Mesh dimensions of the target platform.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Random seed (generation is deterministic per seed).")
+
+let tasks_arg =
+  Arg.(value & opt int 60 & info [ "tasks" ] ~docv:"N" ~doc:"Number of tasks.")
+
+let tightness_arg =
+  Arg.(value & opt float Noc_tgff.Params.default.Noc_tgff.Params.deadline_tightness
+       & info [ "tightness" ] ~docv:"T"
+           ~doc:"Deadline tightness relative to the fastest critical path.")
+
+type bench_spec =
+  | Tgff of int  (* seed *)
+  | Msb of Noc_experiments.Msb_tables.which * Noc_msb.Profile.clip
+
+let bench_conv =
+  let parse s =
+    match String.split_on_char ':' (String.lowercase_ascii s) with
+    | [ "tgff"; seed ] -> (
+      match int_of_string_opt seed with
+      | Some seed -> Ok (Tgff seed)
+      | None -> Error (`Msg "tgff seed must be an integer"))
+    | [ which; clip ] -> (
+      let which =
+        match which with
+        | "encoder" -> Some Noc_experiments.Msb_tables.Encoder
+        | "decoder" -> Some Noc_experiments.Msb_tables.Decoder
+        | "integrated" -> Some Noc_experiments.Msb_tables.Integrated
+        | _ -> None
+      in
+      let clip =
+        match clip with
+        | "akiyo" -> Some Noc_msb.Profile.Akiyo
+        | "foreman" -> Some Noc_msb.Profile.Foreman
+        | "toybox" -> Some Noc_msb.Profile.Toybox
+        | _ -> None
+      in
+      match (which, clip) with
+      | Some w, Some c -> Ok (Msb (w, c))
+      | None, _ | _, None ->
+        Error (`Msg "benchmark must be tgff:SEED or {encoder|decoder|integrated}:CLIP"))
+    | _ -> Error (`Msg "benchmark must be tgff:SEED or {encoder|decoder|integrated}:CLIP")
+  in
+  let print ppf = function
+    | Tgff seed -> Format.fprintf ppf "tgff:%d" seed
+    | Msb (w, c) ->
+      Format.fprintf ppf "%s:%s"
+        (match w with
+        | Noc_experiments.Msb_tables.Encoder -> "encoder"
+        | Noc_experiments.Msb_tables.Decoder -> "decoder"
+        | Noc_experiments.Msb_tables.Integrated -> "integrated")
+        (Noc_msb.Profile.clip_name c)
+  in
+  Arg.conv (parse, print)
+
+let bench_arg =
+  Arg.(value & opt bench_conv (Tgff 0) & info [ "benchmark" ] ~docv:"BENCH"
+         ~doc:"Benchmark: tgff:SEED or {encoder|decoder|integrated}:CLIP.")
+
+let algo_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "eas" -> Ok Noc_experiments.Runner.Eas
+    | "eas-base" -> Ok Noc_experiments.Runner.Eas_base
+    | "edf" -> Ok Noc_experiments.Runner.Edf
+    | _ -> Error (`Msg "algorithm must be eas, eas-base or edf")
+  in
+  let print ppf a = Format.pp_print_string ppf (Noc_experiments.Runner.algo_name a) in
+  Arg.conv (parse, print)
+
+let algo_arg =
+  Arg.(value & opt algo_conv Noc_experiments.Runner.Eas
+       & info [ "algo" ] ~docv:"ALGO" ~doc:"Scheduler: eas, eas-base or edf.")
+
+let platform_and_ctg spec ~mesh ~tasks ~tightness =
+  match spec with
+  | Tgff seed ->
+    let cols, rows = mesh in
+    let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows () in
+    let params =
+      { Noc_tgff.Params.default with n_tasks = tasks; deadline_tightness = tightness }
+    in
+    (platform, Noc_tgff.Generate.generate ~params ~platform ~seed)
+  | Msb (which, clip) ->
+    ( Noc_experiments.Msb_tables.platform_of which,
+      Noc_experiments.Msb_tables.graph_of which ~clip )
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                            *)
+
+let generate_cmd =
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit Graphviz instead of a summary.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "output"; "o" ] ~docv:"FILE"
+             ~doc:"Write the graph in the library's text format.")
+  in
+  let run seed tasks tightness mesh dot output =
+    let cols, rows = mesh in
+    let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows () in
+    let params =
+      { Noc_tgff.Params.default with n_tasks = tasks; deadline_tightness = tightness }
+    in
+    let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
+    Option.iter (fun path -> Noc_ctg.Ctg_io.save ~path ctg) output;
+    if dot then Format.printf "%a" Noc_ctg.Ctg.pp_dot ctg
+    else begin
+      Format.printf "%a@." Noc_ctg.Ctg.pp ctg;
+      Format.printf "sources: %d, sinks: %d, deadline tasks: %d@."
+        (List.length (Noc_ctg.Ctg.sources ctg))
+        (List.length (Noc_ctg.Ctg.sinks ctg))
+        (List.length (Noc_ctg.Ctg.deadline_tasks ctg));
+      Format.printf "fastest critical path: %.1f, balanced load bound: %.1f@."
+        (Noc_ctg.Ctg.min_critical_path ctg)
+        (Noc_ctg.Ctg.min_load_bound ctg);
+      Format.printf "total communication volume: %.0f bits@."
+        (Noc_ctg.Ctg.total_volume ctg)
+    end;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a random TGFF-like task graph.")
+    Term.(term_result
+            (const run $ seed_arg $ tasks_arg $ tightness_arg $ mesh_arg $ dot_arg
+             $ output_arg))
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                            *)
+
+let schedule_cmd =
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Draw an ASCII Gantt chart.")
+  in
+  let input_arg =
+    Arg.(value & opt (some string) None
+         & info [ "input"; "i" ] ~docv:"FILE"
+             ~doc:"Schedule a graph loaded from FILE (text format) instead of a                    built-in benchmark; the platform still comes from $(b,--mesh).")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save-schedule" ] ~docv:"FILE"
+             ~doc:"Write the resulting schedule in the library's text format.")
+  in
+  let utilization_arg =
+    Arg.(value & flag
+         & info [ "utilization" ] ~doc:"Print per-PE and per-link loads.")
+  in
+  let svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Render the schedule as an SVG Gantt chart.")
+  in
+  let run spec algo mesh tasks tightness gantt input save utilization svg =
+    let platform, ctg =
+      match input with
+      | None -> platform_and_ctg spec ~mesh ~tasks ~tightness
+      | Some path -> (
+        match Noc_ctg.Ctg_io.load ~path with
+        | Error msg -> failwith (path ^ ": " ^ msg)
+        | Ok ctg ->
+          let cols, rows = mesh in
+          let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows () in
+          if Noc_ctg.Ctg.n_pes ctg <> Noc_noc.Platform.n_pes platform then
+            failwith "graph PE count does not match --mesh";
+          (platform, ctg))
+    in
+    let evaluation = Noc_experiments.Runner.evaluate algo platform ctg in
+    Format.printf "%s on %a / %a@."
+      (Noc_experiments.Runner.algo_name algo)
+      Noc_noc.Platform.pp platform Noc_ctg.Ctg.pp ctg;
+    Format.printf "%a@." Noc_sched.Metrics.pp evaluation.Noc_experiments.Runner.metrics;
+    Format.printf "scheduler runtime: %.3f s@."
+      evaluation.Noc_experiments.Runner.runtime_seconds;
+    if evaluation.Noc_experiments.Runner.resource_violations > 0 then
+      Format.printf "WARNING: %d resource violations@."
+        evaluation.Noc_experiments.Runner.resource_violations;
+    let schedule = Noc_experiments.Runner.schedule_of algo platform ctg in
+    Option.iter (fun path -> Noc_sched.Schedule_io.save ~path schedule) save;
+    Option.iter
+      (fun path -> Noc_sched.Svg_gantt.save ~path platform ctg schedule)
+      svg;
+    if utilization then
+      Format.printf "%a@." Noc_sched.Utilization.pp
+        (Noc_sched.Utilization.compute platform schedule);
+    if gantt then print_string (Noc_sched.Gantt.render platform ctg schedule);
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Schedule a benchmark and print its metrics.")
+    Term.(term_result
+            (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
+             $ gantt_arg $ input_arg $ save_arg $ utilization_arg $ svg_arg))
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+
+let simulate_cmd =
+  let self_timed_arg =
+    Arg.(value & flag & info [ "self-timed" ]
+           ~doc:"Use work-conserving dispatch instead of the tabled times.")
+  in
+  let run spec algo mesh tasks tightness self_timed =
+    let platform, ctg = platform_and_ctg spec ~mesh ~tasks ~tightness in
+    let schedule = Noc_experiments.Runner.schedule_of algo platform ctg in
+    let discipline =
+      if self_timed then Noc_sim.Executor.Self_timed else Noc_sim.Executor.Time_triggered
+    in
+    let outcome = Noc_sim.Executor.run ~discipline platform ctg schedule in
+    let planned = Noc_sched.Metrics.compute platform ctg schedule in
+    let realised =
+      Noc_sched.Metrics.compute platform ctg outcome.Noc_sim.Executor.realised
+    in
+    Format.printf "planned : %a@." Noc_sched.Metrics.pp planned;
+    Format.printf "realised: %a@." Noc_sched.Metrics.pp realised;
+    Format.printf "time spent blocked on links: %.1f@."
+      outcome.Noc_sim.Executor.waiting_time;
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Replay a schedule on the wormhole executor.")
+    Term.(term_result
+            (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
+             $ self_timed_arg))
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                          *)
+
+let experiment_cmd =
+  let which_arg =
+    let doc =
+      "Experiment id: fig5, fig6, tab1, tab2, tab3, fig7, split, ablation, topo,        weights, repairmoves, dvs, baselines or buffering."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let quick_arg =
+    Arg.(value & flag & info [ "quick" ] ~doc:"Scale the random suites down.")
+  in
+  let run which quick =
+    let scale = if quick then Some 0.2 else None in
+    match which with
+    | "fig5" ->
+      print_string
+        (Noc_experiments.Random_suite.render
+           (Noc_experiments.Random_suite.run ?scale Noc_tgff.Category.Category_i));
+      Ok ()
+    | "fig6" ->
+      print_string
+        (Noc_experiments.Random_suite.render
+           (Noc_experiments.Random_suite.run ?scale Noc_tgff.Category.Category_ii));
+      Ok ()
+    | "tab1" ->
+      print_string
+        (Noc_experiments.Msb_tables.render
+           (Noc_experiments.Msb_tables.run Noc_experiments.Msb_tables.Encoder));
+      Ok ()
+    | "tab2" ->
+      print_string
+        (Noc_experiments.Msb_tables.render
+           (Noc_experiments.Msb_tables.run Noc_experiments.Msb_tables.Decoder));
+      Ok ()
+    | "tab3" ->
+      print_string
+        (Noc_experiments.Msb_tables.render
+           (Noc_experiments.Msb_tables.run Noc_experiments.Msb_tables.Integrated));
+      Ok ()
+    | "fig7" ->
+      print_string (Noc_experiments.Tradeoff.render (Noc_experiments.Tradeoff.run ()));
+      Ok ()
+    | "split" ->
+      print_string
+        (Noc_experiments.Energy_split.render (Noc_experiments.Energy_split.run ()));
+      Ok ()
+    | "ablation" ->
+      print_string (Noc_experiments.Ablation.render (Noc_experiments.Ablation.run ()));
+      Ok ()
+    | "topo" ->
+      print_string
+        (Noc_experiments.Topology_compare.render (Noc_experiments.Topology_compare.run ()));
+      Ok ()
+    | "weights" ->
+      print_string
+        (Noc_experiments.Weight_ablation.render (Noc_experiments.Weight_ablation.run ()));
+      Ok ()
+    | "repairmoves" ->
+      let scale = if quick then Some 0.3 else None in
+      print_string
+        (Noc_experiments.Repair_ablation.render (Noc_experiments.Repair_ablation.run ?scale ()));
+      Ok ()
+    | "dvs" ->
+      print_string
+        (Noc_experiments.Dvs_extension.render (Noc_experiments.Dvs_extension.run ()));
+      Ok ()
+    | "baselines" ->
+      print_string
+        (Noc_experiments.Baselines_compare.render (Noc_experiments.Baselines_compare.run ()));
+      Ok ()
+    | "buffering" ->
+      print_string (Noc_experiments.Buffering.render (Noc_experiments.Buffering.run ()));
+      Ok ()
+    | other -> Error (`Msg (Printf.sprintf "unknown experiment %S" other))
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables or figures.")
+    Term.(term_result (const run $ which_arg $ quick_arg))
+
+let () =
+  let info =
+    Cmd.info "nocsched" ~version:"1.0.0"
+      ~doc:"Energy-aware communication and task scheduling for NoC architectures"
+  in
+  exit (Cmd.eval (Cmd.group info [ generate_cmd; schedule_cmd; simulate_cmd; experiment_cmd ]))

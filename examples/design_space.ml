@@ -1,0 +1,49 @@
+(* Design-space exploration: how do mesh size and deadline tightness
+   trade energy against feasibility for a fixed application?
+
+   The same 80-task TGFF-like application is scheduled on 2x2 .. 4x4
+   heterogeneous meshes at several deadline tightness levels; for each
+   point we report the EAS energy, the makespan and whether deadlines
+   hold. This is the kind of platform-sizing question the paper's
+   framework is built to answer.
+
+   Run with:  dune exec examples/design_space.exe *)
+
+let () =
+  let meshes = [ (2, 2); (3, 3); (4, 4) ] in
+  let tightnesses = [ 3.0; 2.2; 1.6; 1.2 ] in
+  Format.printf
+    "EAS energy (nJ) / makespan / deadline misses, 80-task application@.@.";
+  Format.printf "%-14s" "tightness";
+  List.iter (fun (c, r) -> Format.printf "%22s" (Printf.sprintf "%dx%d mesh" c r)) meshes;
+  Format.printf "@.";
+  List.iter
+    (fun tightness ->
+      Format.printf "%-14.1f" tightness;
+      List.iter
+        (fun (cols, rows) ->
+          let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:7 ~cols ~rows () in
+          let params =
+            {
+              Noc_tgff.Params.default with
+              n_tasks = 80;
+              deadline_tightness = tightness;
+            }
+          in
+          let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed:11 in
+          let outcome = Noc_eas.Eas.schedule platform ctg in
+          let m =
+            Noc_sched.Metrics.compute platform ctg outcome.Noc_eas.Eas.schedule
+          in
+          let cell =
+            Printf.sprintf "%.0f/%.0f/%d" m.total_energy m.makespan
+              (Noc_sched.Metrics.miss_count m)
+          in
+          Format.printf "%22s" cell)
+        meshes;
+      Format.printf "@.")
+    tightnesses;
+  Format.printf
+    "@.Reading: more tiles buy energy (more efficient PEs reachable);@.";
+  Format.printf
+    "tighter deadlines cost energy (fast, hungry PEs) until infeasibility.@."

@@ -1,0 +1,81 @@
+module Schedule = Noc_sched.Schedule
+
+type stretch = {
+  task : int;
+  factor : float;
+  new_finish : float;
+  energy_before : float;
+  energy_after : float;
+}
+
+type report = {
+  stretches : stretch list;
+  computation_energy_before : float;
+  computation_energy_after : float;
+}
+
+(* The latest instant task [i] may finish without disturbing anything
+   else in the schedule. *)
+let finish_bound ctg schedule i =
+  let p = Schedule.placement schedule i in
+  let next_on_pe =
+    Schedule.tasks_on_pe schedule ~pe:p.Schedule.pe
+    |> List.fold_left
+         (fun bound (q : Schedule.placement) ->
+           if q.start >= p.finish -. 1e-9 && q.task <> i then Float.min bound q.start
+           else bound)
+         infinity
+  in
+  let earliest_departure =
+    List.fold_left
+      (fun bound (e : Noc_ctg.Edge.t) ->
+        Float.min bound (Schedule.transaction schedule e.id).Schedule.start)
+      infinity
+      (Noc_ctg.Ctg.out_edges ctg i)
+  in
+  let deadline =
+    match (Noc_ctg.Ctg.task ctg i).Noc_ctg.Task.deadline with
+    | None -> infinity
+    | Some d -> d
+  in
+  Float.min (Float.min next_on_pe earliest_departure) deadline
+
+let plan ?(max_stretch = 2.5) ctg schedule =
+  if not (max_stretch >= 1.) then invalid_arg "Dvs.plan: max_stretch must be >= 1";
+  let stretches =
+    List.init (Noc_ctg.Ctg.n_tasks ctg) (fun i ->
+        let p = Schedule.placement schedule i in
+        let duration = p.Schedule.finish -. p.Schedule.start in
+        let bound = finish_bound ctg schedule i in
+        let factor =
+          if duration <= 0. then 1.
+          else
+            Float.max 1.
+              (Float.min max_stretch ((bound -. p.Schedule.start) /. duration))
+        in
+        let new_finish = p.Schedule.start +. (duration *. factor) in
+        assert (new_finish <= bound +. 1e-6);
+        let energy_before =
+          (Noc_ctg.Ctg.task ctg i).Noc_ctg.Task.energies.(p.Schedule.pe)
+        in
+        {
+          task = i;
+          factor;
+          new_finish;
+          energy_before;
+          energy_after = energy_before /. (factor *. factor);
+        })
+  in
+  let before = List.fold_left (fun acc s -> acc +. s.energy_before) 0. stretches in
+  let after = List.fold_left (fun acc s -> acc +. s.energy_after) 0. stretches in
+  {
+    stretches;
+    computation_energy_before = before;
+    computation_energy_after = after;
+  }
+
+let saving report =
+  if report.computation_energy_before <= 0. then 0.
+  else
+    (report.computation_energy_before -. report.computation_energy_after)
+    /. report.computation_energy_before

@@ -1,0 +1,41 @@
+(** Extension: dynamic-voltage-scaling slack reclamation.
+
+    The paper positions EAS against DVS-based low-power scheduling
+    (Sec. 2, refs [5] and [11]) but the two are complementary: after EAS
+    fixes assignment and ordering, whatever idle time remains in front of
+    each task's successors can be traded for voltage. This post-pass
+    stretches every task into the slack that follows it on its own PE —
+    bounded by the next task on that PE, by the departure of each of its
+    outgoing transactions, and by its own deadline — leaving every other
+    decision of the schedule untouched, so the schedule's feasibility
+    argument carries over verbatim.
+
+    The energy model is the classic first-order one: running a task
+    [s >= 1] times slower at proportionally reduced voltage scales its
+    {e dynamic} computation energy by [1 / s^2]. [max_stretch] caps [s]
+    (voltage floors); communication energy is unaffected. This module is
+    an extension beyond the paper's scope and is excluded from the
+    reproduction experiments. *)
+
+type stretch = {
+  task : int;
+  factor : float;  (** >= 1; 1 means the task cannot be slowed. *)
+  new_finish : float;
+  energy_before : float;
+  energy_after : float;
+}
+
+type report = {
+  stretches : stretch list;  (** One entry per task, by task id. *)
+  computation_energy_before : float;
+  computation_energy_after : float;
+}
+
+val plan : ?max_stretch:float -> Noc_ctg.Ctg.t -> Noc_sched.Schedule.t -> report
+(** [plan ctg schedule] computes the per-task stretches ([max_stretch]
+    defaults to 2.5). The input schedule is read, not modified; the
+    report's [new_finish] values respect every constraint listed above
+    (asserted). *)
+
+val saving : report -> float
+(** Relative dynamic computation-energy saving, in [0, 1). *)

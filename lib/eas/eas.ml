@@ -1,0 +1,45 @@
+type stats = {
+  runtime_seconds : float;
+  misses_before_repair : int;
+  misses_after_repair : int;
+  repair : Repair.stats option;
+}
+
+type outcome = { schedule : Noc_sched.Schedule.t; stats : stats }
+
+let count_misses ctg schedule =
+  Array.fold_left
+    (fun acc (task : Noc_ctg.Task.t) ->
+      match task.deadline with
+      | None -> acc
+      | Some d ->
+        if (Noc_sched.Schedule.placement schedule task.id).Noc_sched.Schedule.finish
+           > d +. 1e-9
+        then acc + 1
+        else acc)
+    0 (Noc_ctg.Ctg.tasks ctg)
+
+let schedule ?(repair = true) ?comm_model ?weighting platform ctg =
+  let t0 = Sys.time () in
+  let budget = Budget.compute ?weighting ctg in
+  let base = Level_sched.run ?comm_model platform ctg budget in
+  let misses_before_repair = count_misses ctg base in
+  let repaired, repair_stats =
+    if repair && misses_before_repair > 0 then
+      let s, st = Repair.run ?comm_model platform ctg base in
+      (s, Some st)
+    else (base, None)
+  in
+  let runtime_seconds = Sys.time () -. t0 in
+  {
+    schedule = repaired;
+    stats =
+      {
+        runtime_seconds;
+        misses_before_repair;
+        misses_after_repair = count_misses ctg repaired;
+        repair = repair_stats;
+      };
+  }
+
+let name ~repair = if repair then "EAS" else "EAS-base"

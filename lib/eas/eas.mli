@@ -1,0 +1,33 @@
+(** The Energy-Aware Scheduler (the paper's main contribution).
+
+    [schedule] runs the three steps of Sec. 5 end to end: budget slack
+    allocation ({!Budget}), level-based scheduling ({!Level_sched}) and,
+    when the resulting schedule misses deadlines and [repair] is on,
+    search and repair ({!Repair}). The two experimental configurations of
+    Sec. 6 are [EAS-base] ([~repair:false]) and [EAS] (the default). *)
+
+type stats = {
+  runtime_seconds : float;  (** Scheduling CPU time. *)
+  misses_before_repair : int;
+  misses_after_repair : int;
+  repair : Repair.stats option;  (** [None] when repair did not run. *)
+}
+
+type outcome = { schedule : Noc_sched.Schedule.t; stats : stats }
+
+val schedule :
+  ?repair:bool ->
+  ?comm_model:Noc_sched.Comm_sched.model ->
+  ?weighting:Budget.weighting ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  outcome
+(** [schedule platform ctg] statically co-schedules the graph's tasks
+    and transactions on the platform. [repair] defaults to [true];
+    [comm_model] defaults to [Contention_aware] (use [Fixed_delay] only
+    for the ablation study — the resulting transactions ignore link
+    contention); [weighting] (default [Variance_product]) selects the
+    Step 1 slack-weighting scheme for the corresponding ablation. *)
+
+val name : repair:bool -> string
+(** ["EAS"] or ["EAS-base"], as the paper labels the configurations. *)

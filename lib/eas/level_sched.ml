@@ -1,0 +1,166 @@
+module Schedule = Noc_sched.Schedule
+module Comm_sched = Noc_sched.Comm_sched
+module Resource_state = Noc_sched.Resource_state
+
+type partial = {
+  state : Resource_state.t;
+  placements : Schedule.placement option array;
+  transactions : Schedule.transaction option array;
+}
+
+let incoming_pendings ctg partial i =
+  List.map
+    (fun (e : Noc_ctg.Edge.t) ->
+      match partial.placements.(e.src) with
+      | None -> invalid_arg "Level_sched: predecessor not yet scheduled"
+      | Some (p : Schedule.placement) ->
+        {
+          Comm_sched.edge = e.id;
+          src_pe = p.pe;
+          sender_finish = p.finish;
+          bits = e.volume;
+        })
+    (Noc_ctg.Ctg.in_edges ctg i)
+
+(* Tentatively place task [i] on PE [k]: schedule its receiving
+   transactions and find the earliest execution window. Reservations stay
+   in force (the caller brackets the call with mark/rollback, or keeps
+   them when committing). *)
+let place ?comm_model ctg partial i k =
+  let pendings = incoming_pendings ctg partial i in
+  let transactions, drt =
+    Comm_sched.schedule_incoming ?model:comm_model partial.state pendings ~dst_pe:k
+  in
+  let task = Noc_ctg.Ctg.task ctg i in
+  let exec_time = task.Noc_ctg.Task.exec_times.(k) in
+  let ready =
+    match task.Noc_ctg.Task.release with
+    | None -> drt
+    | Some release -> Float.max drt release
+  in
+  let start = Resource_state.earliest_pe_gap partial.state ~pe:k ~after:ready ~duration:exec_time in
+  let placement = { Schedule.task = i; pe = k; start; finish = start +. exec_time } in
+  (placement, transactions)
+
+let finish_time ?comm_model ctg partial i k =
+  let mark = Resource_state.mark partial.state in
+  let placement, _ = place ?comm_model ctg partial i k in
+  Resource_state.rollback partial.state mark;
+  placement.Schedule.finish
+
+(* Energy of running [i] on [k]: computation plus communication of the
+   already-placed incoming arcs (paper footnote 2). *)
+let assignment_energy platform ctg partial i k =
+  let task = Noc_ctg.Ctg.task ctg i in
+  let comm =
+    List.fold_left
+      (fun acc (e : Noc_ctg.Edge.t) ->
+        match partial.placements.(e.src) with
+        | None -> acc
+        | Some p ->
+          acc
+          +. Noc_noc.Platform.comm_energy platform ~src:p.Schedule.pe ~dst:k
+               ~bits:e.volume)
+      0.
+      (Noc_ctg.Ctg.in_edges ctg i)
+  in
+  task.Noc_ctg.Task.energies.(k) +. comm
+
+let commit ?comm_model ctg partial i k =
+  let placement, transactions = place ?comm_model ctg partial i k in
+  Resource_state.reserve_pe partial.state ~pe:k
+    (Noc_util.Interval.make ~start:placement.Schedule.start
+       ~stop:placement.Schedule.finish);
+  partial.placements.(i) <- Some placement;
+  List.iter
+    (fun (tr : Schedule.transaction) -> partial.transactions.(tr.edge) <- Some tr)
+    transactions
+
+let run ?comm_model platform ctg (budget : Budget.t) =
+  let n = Noc_ctg.Ctg.n_tasks ctg in
+  let n_pes = Noc_noc.Platform.n_pes platform in
+  let partial =
+    {
+      state = Resource_state.create platform;
+      placements = Array.make n None;
+      transactions = Array.make (Noc_ctg.Ctg.n_edges ctg) None;
+    }
+  in
+  let unscheduled_preds = Array.init n (fun i -> List.length (Noc_ctg.Ctg.preds ctg i)) in
+  let ready = ref [] in
+  for i = n - 1 downto 0 do
+    if unscheduled_preds.(i) = 0 then ready := i :: !ready
+  done;
+  let remaining = ref n in
+  while !remaining > 0 do
+    let rtl = !ready in
+    assert (rtl <> []);
+    (* F(i,k) for every ready task and PE. *)
+    let finishes =
+      List.map
+        (fun i ->
+          (i, Array.init n_pes (fun k -> finish_time ?comm_model ctg partial i k)))
+        rtl
+    in
+    let bd i = budget.budgeted_deadlines.(i) in
+    let violators =
+      List.filter_map
+        (fun (i, fs) ->
+          let min_f = Noc_util.Stats.min_value fs in
+          if min_f > bd i then Some (i, fs, min_f -. bd i) else None)
+        finishes
+    in
+    let chosen_task, chosen_pe =
+      match violators with
+      | _ :: _ ->
+        (* Rule 3: the worst violator goes to its fastest PE. *)
+        let i, fs, _ =
+          List.fold_left
+            (fun (bi, bfs, bover) (i, fs, over) ->
+              if over > bover then (i, fs, over) else (bi, bfs, bover))
+            (List.hd violators) (List.tl violators)
+        in
+        (i, Noc_util.Stats.argmin fs)
+      | [] ->
+        (* Rule 4: largest energy regret among deadline-respecting PEs. *)
+        let candidates =
+          List.map
+            (fun (i, fs) ->
+              let allowed =
+                List.filter (fun k -> fs.(k) <= bd i) (List.init n_pes Fun.id)
+              in
+              assert (allowed <> []);
+              let energies =
+                List.map (fun k -> (assignment_energy platform ctg partial i k, k)) allowed
+              in
+              let sorted = List.sort compare energies in
+              let best_energy, best_pe = List.hd sorted in
+              let delta =
+                match sorted with
+                | _ :: (second_energy, _) :: _ -> second_energy -. best_energy
+                | [ _ ] -> infinity
+                | [] -> assert false
+              in
+              (i, best_pe, delta))
+            finishes
+        in
+        let i, k, _ =
+          List.fold_left
+            (fun (bi, bk, bdelta) (i, k, delta) ->
+              if delta > bdelta then (i, k, delta) else (bi, bk, bdelta))
+            (List.hd candidates) (List.tl candidates)
+        in
+        (i, k)
+    in
+    commit ?comm_model ctg partial chosen_task chosen_pe;
+    decr remaining;
+    ready := List.filter (fun i -> i <> chosen_task) !ready;
+    List.iter
+      (fun j ->
+        unscheduled_preds.(j) <- unscheduled_preds.(j) - 1;
+        if unscheduled_preds.(j) = 0 then ready := !ready @ [ j ])
+      (Noc_ctg.Ctg.succs ctg chosen_task)
+  done;
+  let placements = Array.map Option.get partial.placements in
+  let transactions = Array.map Option.get partial.transactions in
+  Schedule.make ~placements ~transactions

@@ -1,0 +1,29 @@
+(** EAS Step 2: level-based scheduling.
+
+    Repeatedly forms the Ready Tasks List (tasks whose predecessors are
+    all scheduled), computes for every ready task [t_i] and every PE
+    [p_k] the earliest finish time [F(i,k)] by tentatively scheduling
+    [t_i]'s receiving transactions (Fig. 3) and probing PE [k]'s schedule
+    table, then commits one task per iteration:
+
+    - if some ready task cannot meet its budgeted deadline on any PE
+      ([min_F(i) > BD_i]), the most violating one is scheduled on its
+      fastest-finishing PE (damage control);
+    - otherwise each task's candidate list [L_i = {k | F(i,k) <= BD_i}]
+      is ranked by energy (computation on [k] plus communication of the
+      already-placed incoming arcs, per the paper's footnote), and the
+      task with the largest regret [delta_i = E2_i - E1_i] is scheduled
+      on its cheapest deadline-respecting PE. A task whose list has a
+      single PE has infinite regret and is scheduled first.
+
+    All tentative reservations are rolled back before the next
+    evaluation, so the iteration order cannot influence [F(i,k)]. *)
+
+val run :
+  ?comm_model:Noc_sched.Comm_sched.model ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  Budget.t ->
+  Noc_sched.Schedule.t
+(** Builds a complete schedule (always succeeds; deadlines may be
+    missed, which Step 3 then repairs). *)

@@ -1,0 +1,82 @@
+module Schedule = Noc_sched.Schedule
+module Comm_sched = Noc_sched.Comm_sched
+module Resource_state = Noc_sched.Resource_state
+
+let run ?comm_model platform ctg ~assignment ~rank =
+  let n = Noc_ctg.Ctg.n_tasks ctg in
+  if Array.length assignment <> n || Array.length rank <> n then
+    invalid_arg "Rebuild.run: array length mismatch";
+  Array.iter
+    (fun pe ->
+      if pe < 0 || pe >= Noc_noc.Platform.n_pes platform then
+        invalid_arg "Rebuild.run: PE out of range")
+    assignment;
+  let state = Resource_state.create platform in
+  let placements = Array.make n None in
+  let transactions = Array.make (Noc_ctg.Ctg.n_edges ctg) None in
+  let unscheduled_preds = Array.init n (fun i -> List.length (Noc_ctg.Ctg.preds ctg i)) in
+  let module Ready = Set.Make (struct
+    type t = int * int  (* rank, task *)
+
+    let compare = compare
+  end) in
+  let ready = ref Ready.empty in
+  for i = 0 to n - 1 do
+    if unscheduled_preds.(i) = 0 then ready := Ready.add (rank.(i), i) !ready
+  done;
+  for _ = 1 to n do
+    let ((_, i) as elt) = Ready.min_elt !ready in
+    ready := Ready.remove elt !ready;
+    let k = assignment.(i) in
+    let pendings =
+      List.map
+        (fun (e : Noc_ctg.Edge.t) ->
+          match placements.(e.src) with
+          | None -> assert false
+          | Some (p : Schedule.placement) ->
+            {
+              Comm_sched.edge = e.id;
+              src_pe = p.pe;
+              sender_finish = p.finish;
+              bits = e.volume;
+            })
+        (Noc_ctg.Ctg.in_edges ctg i)
+    in
+    let placed, drt = Comm_sched.schedule_incoming ?model:comm_model state pendings ~dst_pe:k in
+    let task = Noc_ctg.Ctg.task ctg i in
+    let exec_time = task.Noc_ctg.Task.exec_times.(k) in
+    let available =
+      match task.Noc_ctg.Task.release with
+      | None -> drt
+      | Some release -> Float.max drt release
+    in
+    let start = Resource_state.earliest_pe_gap state ~pe:k ~after:available ~duration:exec_time in
+    Resource_state.reserve_pe state ~pe:k
+      (Noc_util.Interval.make ~start ~stop:(start +. exec_time));
+    placements.(i) <- Some { Schedule.task = i; pe = k; start; finish = start +. exec_time };
+    List.iter (fun (tr : Schedule.transaction) -> transactions.(tr.edge) <- Some tr) placed;
+    List.iter
+      (fun j ->
+        unscheduled_preds.(j) <- unscheduled_preds.(j) - 1;
+        if unscheduled_preds.(j) = 0 then ready := Ready.add (rank.(j), j) !ready)
+      (Noc_ctg.Ctg.succs ctg i)
+  done;
+  Schedule.make
+    ~placements:(Array.map Option.get placements)
+    ~transactions:(Array.map Option.get transactions)
+
+let of_schedule schedule =
+  let n = Schedule.n_tasks schedule in
+  let assignment =
+    Array.init n (fun i -> (Schedule.placement schedule i).Schedule.pe)
+  in
+  let order = Array.init n Fun.id in
+  Array.sort
+    (fun a b ->
+      let pa = Schedule.placement schedule a and pb = Schedule.placement schedule b in
+      let c = Float.compare pa.Schedule.start pb.Schedule.start in
+      if c <> 0 then c else compare a b)
+    order;
+  let rank = Array.make n 0 in
+  Array.iteri (fun pos task -> rank.(task) <- pos) order;
+  (assignment, rank)

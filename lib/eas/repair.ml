@@ -1,0 +1,185 @@
+module Schedule = Noc_sched.Schedule
+
+type moves = Both | Lts_only | Gtm_only
+
+type stats = { accepted_swaps : int; accepted_migrations : int; evaluations : int }
+
+(* Search score: primarily the number of missed deadlines, refined by the
+   total lateness so the greedy search has a gradient to follow even when
+   one move cannot yet save a whole deadline. *)
+let score ctg schedule =
+  Array.fold_left
+    (fun (count, lateness) (task : Noc_ctg.Task.t) ->
+      match task.deadline with
+      | None -> (count, lateness)
+      | Some d ->
+        let late = (Schedule.placement schedule task.id).Schedule.finish -. d in
+        if late > 1e-9 then (count + 1, lateness +. late) else (count, lateness))
+    (0, 0.) (Noc_ctg.Ctg.tasks ctg)
+
+let improves (m2, l2) (m1, l1) = m2 < m1 || (m2 = m1 && l2 < l1 -. 1e-6)
+
+(* Candidate bounds keeping one repair pass polynomial on 500-task
+   graphs; the evaluation cap is the hard safety net. *)
+let max_critical_per_pass = 24
+let max_swap_candidates = 12
+
+let take n list =
+  let rec go n = function
+    | [] -> []
+    | _ :: _ when n = 0 -> []
+    | x :: rest -> x :: go (n - 1) rest
+  in
+  go n list
+
+let critical_tasks ctg schedule =
+  let n = Noc_ctg.Ctg.n_tasks ctg in
+  let critical = Array.make n false in
+  let rec mark i =
+    if not critical.(i) then begin
+      critical.(i) <- true;
+      List.iter mark (Noc_ctg.Ctg.preds ctg i)
+    end
+  in
+  Array.iter
+    (fun (task : Noc_ctg.Task.t) ->
+      match task.deadline with
+      | None -> ()
+      | Some d ->
+        if (Schedule.placement schedule task.id).Schedule.finish > d +. 1e-9 then
+          mark task.id)
+    (Noc_ctg.Ctg.tasks ctg);
+  critical
+
+(* Estimated energy of running task [i] on PE [k]: computation plus the
+   communication of every incident arc whose other endpoint is fixed. *)
+let move_energy platform ctg ~assignment i k =
+  let task = Noc_ctg.Ctg.task ctg i in
+  let incident_comm =
+    List.fold_left
+      (fun acc (e : Noc_ctg.Edge.t) ->
+        acc
+        +. Noc_noc.Platform.comm_energy platform ~src:assignment.(e.Noc_ctg.Edge.src)
+             ~dst:k ~bits:e.Noc_ctg.Edge.volume)
+      0. (Noc_ctg.Ctg.in_edges ctg i)
+    +. List.fold_left
+         (fun acc (e : Noc_ctg.Edge.t) ->
+           acc
+           +. Noc_noc.Platform.comm_energy platform ~src:k
+                ~dst:assignment.(e.Noc_ctg.Edge.dst) ~bits:e.Noc_ctg.Edge.volume)
+         0. (Noc_ctg.Ctg.out_edges ctg i)
+  in
+  task.Noc_ctg.Task.energies.(k) +. incident_comm
+
+(* Critical tasks in decreasing urgency: the later past its own deadline
+   (or its tightest descendant deadline), the earlier it is tried. *)
+let ordered_critical ctg schedule critical =
+  let n = Noc_ctg.Ctg.n_tasks ctg in
+  List.init n Fun.id
+  |> List.filter (fun i -> critical.(i))
+  |> List.sort (fun a b ->
+         let finish i = (Schedule.placement schedule i).Schedule.finish in
+         let c = Float.compare (finish b) (finish a) in
+         if c <> 0 then c else compare a b)
+
+let run ?comm_model ?(max_evaluations = 4_000) ?(moves = Both) platform ctg schedule =
+  let n = Noc_ctg.Ctg.n_tasks ctg in
+  let n_pes = Noc_noc.Platform.n_pes platform in
+  let assignment, rank = Rebuild.of_schedule schedule in
+  let current = ref schedule in
+  let best_score = ref (score ctg schedule) in
+  let swaps = ref 0 and migrations = ref 0 and evaluations = ref 0 in
+  let rebuild () =
+    incr evaluations;
+    Rebuild.run ?comm_model platform ctg ~assignment ~rank
+  in
+  let try_apply mutate restore =
+    if !evaluations >= max_evaluations then false
+    else begin
+      mutate ();
+      let candidate = rebuild () in
+      let candidate_score = score ctg candidate in
+      if improves candidate_score !best_score then begin
+        current := candidate;
+        best_score := candidate_score;
+        (* Re-derive the compact representation from the realised
+           schedule so later moves reason about actual execution order. *)
+        let assignment', rank' = Rebuild.of_schedule candidate in
+        Array.blit assignment' 0 assignment 0 n;
+        Array.blit rank' 0 rank 0 n;
+        true
+      end
+      else begin
+        restore ();
+        false
+      end
+    end
+  in
+  let swap_ranks a b =
+    let tmp = rank.(a) in
+    rank.(a) <- rank.(b);
+    rank.(b) <- tmp
+  in
+  (* LTS: move one critical task earlier on its PE. Returns true when a
+     swap was accepted. *)
+  let local_task_swapping () =
+    let critical = critical_tasks ctg !current in
+    let try_critical t1 =
+      let p1 = Schedule.placement !current t1 in
+      let earlier_non_critical =
+        List.init n Fun.id
+        |> List.filter (fun t2 ->
+               t2 <> t1
+               && (not critical.(t2))
+               && (Schedule.placement !current t2).Schedule.pe = p1.Schedule.pe
+               && rank.(t2) < rank.(t1))
+        |> List.sort (fun a b -> compare rank.(b) rank.(a))
+        |> take max_swap_candidates
+      in
+      List.exists
+        (fun t2 ->
+          try_apply (fun () -> swap_ranks t1 t2) (fun () -> swap_ranks t1 t2))
+        earlier_non_critical
+    in
+    List.exists try_critical
+      (take max_critical_per_pass (ordered_critical ctg !current critical))
+  in
+  (* GTM: migrate one critical task, cheapest destination first. *)
+  let global_task_migration () =
+    let critical = critical_tasks ctg !current in
+    let try_critical t1 =
+      let home = assignment.(t1) in
+      let destinations =
+        List.init n_pes Fun.id
+        |> List.filter (fun k -> k <> home)
+        |> List.map (fun k -> (move_energy platform ctg ~assignment t1 k, k))
+        |> List.sort compare
+        |> List.map snd
+      in
+      List.exists
+        (fun k ->
+          try_apply
+            (fun () -> assignment.(t1) <- k)
+            (fun () -> assignment.(t1) <- home))
+        destinations
+    in
+    List.exists try_critical
+      (take max_critical_per_pass (ordered_critical ctg !current critical))
+  in
+  let lts_enabled = match moves with Both | Lts_only -> true | Gtm_only -> false in
+  let gtm_enabled = match moves with Both | Gtm_only -> true | Lts_only -> false in
+  let rec fix () =
+    if fst !best_score > 0 && !evaluations < max_evaluations then
+      if lts_enabled && local_task_swapping () then begin
+        incr swaps;
+        fix ()
+      end
+      else if gtm_enabled && global_task_migration () then begin
+        incr migrations;
+        fix ()
+      end
+      else ()
+  in
+  fix ();
+  ( !current,
+    { accepted_swaps = !swaps; accepted_migrations = !migrations; evaluations = !evaluations } )

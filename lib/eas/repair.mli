@@ -1,0 +1,47 @@
+(** EAS Step 3: search and repair (Fig. 4).
+
+    Post-processes a schedule with deadline misses. Two move kinds
+    alternate, both accepted only when the number of missed deadlines
+    strictly decreases (hence the greedy procedure always converges):
+
+    - {b Local task swapping (LTS)}: a critical task (one that misses its
+      deadline or is an ancestor of one that does) is moved earlier on
+      its own PE by swapping its execution order with a non-critical task
+      scheduled before it on the same PE. LTS never changes the
+      task-to-PE assignment, so the schedule energy is untouched.
+    - {b Global task migration (GTM)}: when no swap helps, a critical
+      task is migrated to another PE; destination PEs are tried in
+      increasing order of the move's estimated energy (computation on
+      the destination plus communication of all arcs incident to the
+      task), so the cheapest repair is found first.
+
+    After a successful migration the procedure re-enters LTS mode, as in
+    the paper's flow chart. *)
+
+type moves =
+  | Both  (** The paper's procedure: LTS first, GTM when LTS is stuck. *)
+  | Lts_only  (** Swap-only ablation: energy provably untouched. *)
+  | Gtm_only  (** Migration-only ablation. *)
+
+type stats = {
+  accepted_swaps : int;
+  accepted_migrations : int;
+  evaluations : int;  (** Schedules rebuilt (accepted or not). *)
+}
+
+val critical_tasks : Noc_ctg.Ctg.t -> Noc_sched.Schedule.t -> bool array
+(** [critical_tasks ctg s] marks every task that misses its own deadline
+    and every ancestor of such a task. *)
+
+val run :
+  ?comm_model:Noc_sched.Comm_sched.model ->
+  ?max_evaluations:int ->
+  ?moves:moves ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  Noc_sched.Schedule.t ->
+  Noc_sched.Schedule.t * stats
+(** Returns the repaired schedule (the input when nothing helps) and the
+    search statistics. [max_evaluations] (default 4000) bounds the
+    rebuilds as a safety net; [moves] (default [Both]) restricts the move
+    set for the repair ablation. *)

@@ -1,0 +1,95 @@
+type row = {
+  seed : int;
+  aware_planned_misses : int;
+  aware_replay_misses : int;
+  aware_max_deviation : float;
+  fixed_planned_misses : int;
+  fixed_replay_misses : int;
+  fixed_max_lateness : float;
+  fixed_link_waiting : float;
+}
+
+let miss_stats ctg schedule =
+  Array.fold_left
+    (fun (count, worst) (task : Noc_ctg.Task.t) ->
+      match task.deadline with
+      | None -> (count, worst)
+      | Some d ->
+        let late =
+          (Noc_sched.Schedule.placement schedule task.id).Noc_sched.Schedule.finish -. d
+        in
+        if late > 1e-9 then (count + 1, Float.max worst late) else (count, worst))
+    (0, 0.) (Noc_ctg.Ctg.tasks ctg)
+
+let max_deviation planned realised =
+  let n = Noc_sched.Schedule.n_tasks planned in
+  let worst = ref 0. in
+  for i = 0 to n - 1 do
+    let p = Noc_sched.Schedule.placement planned i
+    and q = Noc_sched.Schedule.placement realised i in
+    worst :=
+      Float.max !worst
+        (Float.abs (p.Noc_sched.Schedule.finish -. q.Noc_sched.Schedule.finish))
+  done;
+  !worst
+
+let run ?(seeds = [ 0; 1; 2; 7; 8 ]) ?(n_tasks = 120) ?(tightness = 1.4) () =
+  let platform = Noc_tgff.Category.platform in
+  let params =
+    { Noc_tgff.Params.default with n_tasks; deadline_tightness = tightness }
+  in
+  List.map
+    (fun seed ->
+      let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
+      let aware =
+        Runner.schedule_of ~comm_model:Noc_sched.Comm_sched.Contention_aware
+          Runner.Eas platform ctg
+      in
+      let fixed =
+        Runner.schedule_of ~comm_model:Noc_sched.Comm_sched.Fixed_delay Runner.Eas
+          platform ctg
+      in
+      let aware_replay = Noc_sim.Executor.run platform ctg aware in
+      let fixed_replay = Noc_sim.Executor.run platform ctg fixed in
+      let aware_planned_misses, _ = miss_stats ctg aware in
+      let aware_replay_misses, _ = miss_stats ctg aware_replay.Noc_sim.Executor.realised in
+      let fixed_planned_misses, _ = miss_stats ctg fixed in
+      let fixed_replay_misses, fixed_max_lateness =
+        miss_stats ctg fixed_replay.Noc_sim.Executor.realised
+      in
+      {
+        seed;
+        aware_planned_misses;
+        aware_replay_misses;
+        aware_max_deviation = max_deviation aware aware_replay.Noc_sim.Executor.realised;
+        fixed_planned_misses;
+        fixed_replay_misses;
+        fixed_max_lateness;
+        fixed_link_waiting = fixed_replay.Noc_sim.Executor.waiting_time;
+      })
+    seeds
+
+let render rows =
+  let header =
+    [
+      "seed"; "aware: plan miss"; "replay miss"; "max dev";
+      "fixed: plan miss"; "replay miss"; "max late"; "link wait";
+    ]
+  in
+  let row_of r =
+    [
+      string_of_int r.seed;
+      string_of_int r.aware_planned_misses;
+      string_of_int r.aware_replay_misses;
+      Printf.sprintf "%.3g" r.aware_max_deviation;
+      string_of_int r.fixed_planned_misses;
+      string_of_int r.fixed_replay_misses;
+      Printf.sprintf "%.0f" r.fixed_max_lateness;
+      Printf.sprintf "%.0f" r.fixed_link_waiting;
+    ]
+  in
+  Printf.sprintf
+    "Contention ablation: schedules built under a fixed-delay communication\n\
+     model look feasible but miss deadlines when replayed with real link\n\
+     arbitration; contention-aware schedules replay exactly.\n%s\n"
+    (Noc_util.Text_table.render ~header (List.map row_of rows))

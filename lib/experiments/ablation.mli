@@ -1,0 +1,30 @@
+(** The contention ablation: why communication must be co-scheduled.
+
+    The paper argues (Sec. 1) that assuming "a fixed delay proportional
+    to the communication volume" is unsafe because congestion changes
+    delays dynamically. We quantify this: EAS is run once with its real
+    contention-aware communication scheduler and once with the naive
+    fixed-delay model, and both schedules are replayed on the wormhole
+    simulator's time-triggered runtime. The contention-aware schedule
+    replays exactly; the fixed-delay schedule's transactions collide and
+    deadlines are missed. *)
+
+type row = {
+  seed : int;
+  aware_planned_misses : int;
+  aware_replay_misses : int;
+  aware_max_deviation : float;
+      (** Largest |replayed - planned| finish difference; 0 expected. *)
+  fixed_planned_misses : int;
+      (** Misses the naive scheduler believes it has (it is oblivious). *)
+  fixed_replay_misses : int;
+  fixed_max_lateness : float;
+  fixed_link_waiting : float;
+      (** Total time the naive schedule's transactions spent blocked. *)
+}
+
+val run : ?seeds:int list -> ?n_tasks:int -> ?tightness:float -> unit -> row list
+(** Defaults: seeds {0, 1, 2, 7, 8}, 120 tasks, tightness 1.4, on the
+    category platform. *)
+
+val render : row list -> string

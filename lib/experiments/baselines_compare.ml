@@ -1,0 +1,82 @@
+type entry = { scheduler : string; energy : float; makespan : float; misses : int }
+type row = { name : string; entries : entry list }
+
+let entry_of name platform ctg schedule =
+  let m = Noc_sched.Metrics.compute platform ctg schedule in
+  {
+    scheduler = name;
+    energy = m.Noc_sched.Metrics.total_energy;
+    makespan = m.Noc_sched.Metrics.makespan;
+    misses = Noc_sched.Metrics.miss_count m;
+  }
+
+let evaluate name platform ctg =
+  let entries =
+    [
+      entry_of "EAS" platform ctg (Noc_eas.Eas.schedule platform ctg).Noc_eas.Eas.schedule;
+      entry_of "EDF" platform ctg (Noc_edf.Edf.schedule platform ctg).Noc_edf.Edf.schedule;
+      entry_of "DLS" platform ctg
+        (Noc_baselines.Dls.schedule platform ctg).Noc_baselines.Dls.schedule;
+      entry_of "Energy-greedy" platform ctg
+        (Noc_baselines.Energy_greedy.schedule platform ctg)
+          .Noc_baselines.Energy_greedy.schedule;
+    ]
+  in
+  { name; entries }
+
+let run ?(seeds = [ 0; 1; 2 ]) () =
+  let clip = Noc_msb.Profile.Foreman in
+  let msb =
+    [
+      ( "encoder/foreman",
+        Noc_msb.Platforms.av_2x2,
+        Noc_msb.Graphs.encoder ~platform:Noc_msb.Platforms.av_2x2 ~clip () );
+      ( "decoder/foreman",
+        Noc_msb.Platforms.av_2x2,
+        Noc_msb.Graphs.decoder ~platform:Noc_msb.Platforms.av_2x2 ~clip () );
+      ( "integrated/foreman",
+        Noc_msb.Platforms.av_3x3,
+        Noc_msb.Graphs.integrated ~platform:Noc_msb.Platforms.av_3x3 ~clip () );
+    ]
+  in
+  let random =
+    List.map
+      (fun seed ->
+        let platform = Noc_tgff.Category.platform in
+        let params = { Noc_tgff.Params.default with n_tasks = 120 } in
+        ( Printf.sprintf "tgff-120/seed %d" seed,
+          platform,
+          Noc_tgff.Generate.generate ~params ~platform ~seed ))
+      seeds
+  in
+  List.map (fun (name, platform, ctg) -> evaluate name platform ctg) (msb @ random)
+
+let render rows =
+  let schedulers =
+    match rows with
+    | [] -> []
+    | r :: _ -> List.map (fun e -> e.scheduler) r.entries
+  in
+  let header =
+    "benchmark"
+    :: List.concat_map (fun s -> [ s ^ " nJ"; "mk"; "miss" ]) schedulers
+  in
+  let cells =
+    List.map
+      (fun r ->
+        r.name
+        :: List.concat_map
+             (fun e ->
+               [
+                 Noc_util.Text_table.float_cell ~decimals:0 e.energy;
+                 Noc_util.Text_table.float_cell ~decimals:0 e.makespan;
+                 string_of_int e.misses;
+               ])
+             r.entries)
+      rows
+  in
+  Printf.sprintf
+    "Extended baselines: EAS between the performance school (EDF, DLS of\n\
+     Sih & Lee — the paper's ref [10]) and a deadline-oblivious\n\
+     energy-greedy lower bound.\n%s\n"
+    (Noc_util.Text_table.render ~header cells)

@@ -1,0 +1,20 @@
+(** Extension: EAS composed with DVS slack reclamation.
+
+    The paper contrasts its assignment-level optimisation with the DVS
+    school (Sec. 2); this experiment shows the two compose: after EAS,
+    the {!Noc_eas.Dvs} post-pass converts residual idle time into
+    voltage reduction, and the gains stack on top of the EAS-vs-EDF
+    savings. An extension beyond the paper's evaluation. *)
+
+type row = {
+  name : string;
+  edf_energy : float;
+  eas_energy : float;
+  eas_dvs_energy : float;  (** Eq. 3 with DVS-scaled computation. *)
+  dvs_saving : float;  (** Relative dynamic computation saving. *)
+}
+
+val run : unit -> row list
+(** The three MSB systems (foreman) plus two random benchmarks. *)
+
+val render : row list -> string

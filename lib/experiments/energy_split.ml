@@ -1,0 +1,31 @@
+type result = {
+  clip : Noc_msb.Profile.clip;
+  eas : Noc_sched.Metrics.t;
+  edf : Noc_sched.Metrics.t;
+}
+
+let run ?(clip = Noc_msb.Profile.Foreman) () =
+  let platform = Noc_msb.Platforms.av_3x3 in
+  let ctg = Noc_msb.Graphs.integrated ~platform ~clip () in
+  {
+    clip;
+    eas = (Runner.evaluate Runner.Eas platform ctg).metrics;
+    edf = (Runner.evaluate Runner.Edf platform ctg).metrics;
+  }
+
+let render r =
+  let header = [ "metric"; "EDF"; "EAS" ] in
+  let cell = Noc_util.Text_table.float_cell ~decimals:1 in
+  let rows =
+    [
+      [ "computation energy (nJ)"; cell r.edf.computation_energy; cell r.eas.computation_energy ];
+      [ "communication energy (nJ)"; cell r.edf.communication_energy; cell r.eas.communication_energy ];
+      [ "total energy (nJ)"; cell r.edf.total_energy; cell r.eas.total_energy ];
+      [ "average hops per packet"; Printf.sprintf "%.2f" r.edf.average_hops;
+        Printf.sprintf "%.2f" r.eas.average_hops ];
+    ]
+  in
+  Printf.sprintf
+    "Energy breakdown (integrated MSB, %s): EAS reduces computation and\ncommunication energy together.\n%s\n"
+    (Noc_msb.Profile.clip_name r.clip)
+    (Noc_util.Text_table.render ~header rows)

@@ -1,0 +1,76 @@
+type which = Encoder | Decoder | Integrated
+
+let which_name = function
+  | Encoder -> "A/V encoder (24 tasks, 2x2)"
+  | Decoder -> "A/V decoder (16 tasks, 2x2)"
+  | Integrated -> "A/V encoder/decoder (40 tasks, 3x3)"
+
+let platform_of = function
+  | Encoder | Decoder -> Noc_msb.Platforms.av_2x2
+  | Integrated -> Noc_msb.Platforms.av_3x3
+
+let graph_of ?ratio which ~clip =
+  let platform = platform_of which in
+  match which with
+  | Encoder -> Noc_msb.Graphs.encoder ?ratio ~platform ~clip ()
+  | Decoder -> Noc_msb.Graphs.decoder ?ratio ~platform ~clip ()
+  | Integrated -> Noc_msb.Graphs.integrated ?ratio ~platform ~clip ()
+
+type row = {
+  clip : Noc_msb.Profile.clip;
+  eas : Runner.evaluation;
+  edf : Runner.evaluation;
+}
+
+type result = { which : which; rows : row list }
+
+let run which =
+  let platform = platform_of which in
+  let rows =
+    List.map
+      (fun clip ->
+        let ctg = graph_of which ~clip in
+        {
+          clip;
+          eas = Runner.evaluate Runner.Eas platform ctg;
+          edf = Runner.evaluate Runner.Edf platform ctg;
+        })
+      Noc_msb.Profile.all_clips
+  in
+  { which; rows }
+
+let render result =
+  let header = "MSB Task Set" :: List.map Noc_msb.Profile.clip_name
+                  (List.map (fun r -> r.clip) result.rows)
+  in
+  let energy_cells select =
+    List.map
+      (fun r ->
+        Noc_util.Text_table.float_cell ~decimals:0
+          (select r).Runner.metrics.Noc_sched.Metrics.total_energy)
+      result.rows
+  in
+  let savings_cells =
+    List.map
+      (fun r ->
+        Noc_util.Text_table.percent_cell
+          (Runner.savings
+             ~baseline:r.edf.Runner.metrics.Noc_sched.Metrics.total_energy
+             r.eas.Runner.metrics.Noc_sched.Metrics.total_energy))
+      result.rows
+  in
+  let miss_cells =
+    List.map
+      (fun r -> string_of_int (Noc_sched.Metrics.miss_count r.eas.Runner.metrics))
+      result.rows
+  in
+  let table =
+    Noc_util.Text_table.render ~header
+      [
+        "EAS Energy (nJ)" :: energy_cells (fun r -> r.eas);
+        "EDF Energy (nJ)" :: energy_cells (fun r -> r.edf);
+        "Energy Savings (%)" :: savings_cells;
+        "EAS deadline misses" :: miss_cells;
+      ]
+  in
+  Printf.sprintf "%s\n%s\n" (which_name result.which) table

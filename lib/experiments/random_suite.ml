@@ -1,0 +1,84 @@
+type row = {
+  index : int;
+  eas_base : Runner.evaluation;
+  eas : Runner.evaluation;
+  edf : Runner.evaluation;
+}
+
+type result = {
+  kind : Noc_tgff.Category.kind;
+  rows : row list;
+  average_edf_excess : float;
+}
+
+let run ?(indices = List.init 10 Fun.id) ?scale kind =
+  let platform = Noc_tgff.Category.platform in
+  let params =
+    match scale with
+    | None -> Noc_tgff.Category.params kind
+    | Some scale -> Noc_tgff.Category.scaled_params kind ~scale
+  in
+  let rows =
+    List.map
+      (fun index ->
+        let seed =
+          (match kind with
+          | Noc_tgff.Category.Category_i -> 1_000
+          | Noc_tgff.Category.Category_ii -> 2_000)
+          + index
+        in
+        let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
+        {
+          index;
+          eas_base = Runner.evaluate Runner.Eas_base platform ctg;
+          eas = Runner.evaluate Runner.Eas platform ctg;
+          edf = Runner.evaluate Runner.Edf platform ctg;
+        })
+      indices
+  in
+  let average_edf_excess =
+    let excesses =
+      List.map
+        (fun r ->
+          (r.edf.Runner.metrics.Noc_sched.Metrics.total_energy
+          /. r.eas.Runner.metrics.Noc_sched.Metrics.total_energy)
+          -. 1.)
+        rows
+    in
+    List.fold_left ( +. ) 0. excesses /. float_of_int (List.length excesses)
+  in
+  { kind; rows; average_edf_excess }
+
+let kind_name = function
+  | Noc_tgff.Category.Category_i -> "category I"
+  | Noc_tgff.Category.Category_ii -> "category II"
+
+let render result =
+  let cell = Noc_util.Text_table.float_cell ~decimals:0 in
+  let header =
+    [
+      "benchmark"; "EAS-base (nJ)"; "EAS (nJ)"; "EDF (nJ)"; "base miss"; "EAS miss";
+      "EDF miss"; "base t(s)"; "EAS t(s)";
+    ]
+  in
+  let row_of r =
+    let energy (e : Runner.evaluation) = cell e.metrics.Noc_sched.Metrics.total_energy in
+    let miss (e : Runner.evaluation) =
+      string_of_int (Noc_sched.Metrics.miss_count e.metrics)
+    in
+    [
+      string_of_int r.index;
+      energy r.eas_base;
+      energy r.eas;
+      energy r.edf;
+      miss r.eas_base;
+      miss r.eas;
+      miss r.edf;
+      Printf.sprintf "%.2f" r.eas_base.runtime_seconds;
+      Printf.sprintf "%.2f" r.eas.runtime_seconds;
+    ]
+  in
+  let table = Noc_util.Text_table.render ~header (List.map row_of result.rows) in
+  Printf.sprintf "%s\n%s\nEDF consumes on average %.1f%% more energy than EAS.\n"
+    (kind_name result.kind) table
+    (100. *. result.average_edf_excess)

@@ -1,0 +1,49 @@
+type algo = Eas | Eas_base | Edf
+
+let all_algos = [ Eas_base; Eas; Edf ]
+
+let algo_name = function
+  | Eas -> "EAS"
+  | Eas_base -> "EAS-base"
+  | Edf -> "EDF"
+
+type evaluation = {
+  algo : algo;
+  metrics : Noc_sched.Metrics.t;
+  runtime_seconds : float;
+  resource_violations : int;
+}
+
+let schedule_of ?comm_model algo platform ctg =
+  match algo with
+  | Eas -> (Noc_eas.Eas.schedule ?comm_model platform ctg).schedule
+  | Eas_base -> (Noc_eas.Eas.schedule ~repair:false ?comm_model platform ctg).schedule
+  | Edf -> (Noc_edf.Edf.schedule ?comm_model platform ctg).schedule
+
+let evaluate ?comm_model algo platform ctg =
+  let runtime_seconds, schedule =
+    let t0 = Sys.time () in
+    let s = schedule_of ?comm_model algo platform ctg in
+    (Sys.time () -. t0, s)
+  in
+  let metrics = Noc_sched.Metrics.compute platform ctg schedule in
+  let resource_violations =
+    Noc_sched.Validate.check platform ctg schedule
+    |> List.filter (function
+         | Noc_sched.Validate.Deadline_miss _ -> false
+         | Noc_sched.Validate.Malformed _ | Noc_sched.Validate.Task_overlap _
+         | Noc_sched.Validate.Link_conflict _ | Noc_sched.Validate.Dependency _ ->
+           true)
+    |> List.length
+  in
+  (* The fixed-delay ablation is the only configuration allowed to plan
+     conflicting transactions. *)
+  (match comm_model with
+  | Some Noc_sched.Comm_sched.Fixed_delay -> ()
+  | Some Noc_sched.Comm_sched.Contention_aware | None ->
+    assert (resource_violations = 0));
+  { algo; metrics; runtime_seconds; resource_violations }
+
+let savings ~baseline v =
+  assert (baseline > 0.);
+  (baseline -. v) /. baseline

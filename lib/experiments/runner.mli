@@ -1,0 +1,35 @@
+(** Shared machinery for the paper's experiments: the three scheduler
+    configurations of Sec. 6 and their evaluation on a (platform, CTG)
+    pair. *)
+
+type algo = Eas | Eas_base | Edf
+
+val all_algos : algo list
+val algo_name : algo -> string
+
+type evaluation = {
+  algo : algo;
+  metrics : Noc_sched.Metrics.t;
+  runtime_seconds : float;
+  resource_violations : int;
+      (** Non-deadline validator findings; always 0 for a correct
+          scheduler, recorded so experiments fail loudly otherwise. *)
+}
+
+val evaluate :
+  ?comm_model:Noc_sched.Comm_sched.model ->
+  algo ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  evaluation
+
+val schedule_of :
+  ?comm_model:Noc_sched.Comm_sched.model ->
+  algo ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  Noc_sched.Schedule.t
+
+val savings : baseline:float -> float -> float
+(** [savings ~baseline v] is [(baseline - v) / baseline]; the paper's
+    "Energy Savings (%)" with EDF as the baseline. *)

@@ -1,0 +1,22 @@
+(** Topology extension study (the paper's Sec. 7).
+
+    The paper notes EAS only requires a regular topology with
+    deterministic routing and names the honeycomb as an example where
+    [E_bit] is no longer determined by Manhattan distance. We schedule
+    the same applications over a mesh, a torus and a honeycomb carrying
+    identical PE arrays and compare energy — communication energy and
+    average hop counts track each topology's route lengths, while
+    computation energy stays put. *)
+
+type row = {
+  topology : Noc_noc.Topology.t;
+  eas : Runner.evaluation;
+  edf : Runner.evaluation;
+}
+
+type result = { seed : int; n_tasks : int; rows : row list }
+
+val run : ?seed:int -> ?n_tasks:int -> unit -> result
+(** Defaults: seed 0, 120 tasks, 4x4-sized topologies. *)
+
+val render : result -> string

@@ -1,0 +1,37 @@
+type point = { ratio : float; eas : Runner.evaluation; edf : Runner.evaluation }
+
+let default_ratios = List.init 9 (fun i -> 1.0 +. (0.1 *. float_of_int i))
+
+let run ?(ratios = default_ratios) ?(clip = Noc_msb.Profile.Foreman) () =
+  let platform = Noc_msb.Platforms.av_3x3 in
+  List.map
+    (fun ratio ->
+      let ctg = Noc_msb.Graphs.integrated ~ratio ~platform ~clip () in
+      {
+        ratio;
+        eas = Runner.evaluate Runner.Eas platform ctg;
+        edf = Runner.evaluate Runner.Edf platform ctg;
+      })
+    ratios
+
+let render points =
+  let header =
+    [ "performance ratio"; "EAS (nJ)"; "EDF (nJ)"; "EAS miss"; "EDF miss" ]
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          Printf.sprintf "%.1f" p.ratio;
+          Noc_util.Text_table.float_cell ~decimals:0
+            p.eas.Runner.metrics.Noc_sched.Metrics.total_energy;
+          Noc_util.Text_table.float_cell ~decimals:0
+            p.edf.Runner.metrics.Noc_sched.Metrics.total_energy;
+          string_of_int (Noc_sched.Metrics.miss_count p.eas.Runner.metrics);
+          string_of_int (Noc_sched.Metrics.miss_count p.edf.Runner.metrics);
+        ])
+      points
+  in
+  Printf.sprintf
+    "Performance and energy trade-off (integrated MSB, foreman):\n%s\n"
+    (Noc_util.Text_table.render ~header rows)

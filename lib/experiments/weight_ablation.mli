@@ -1,0 +1,22 @@
+(** Ablation of EAS Step 1's slack-weighting rule.
+
+    The paper weights each task's slack share by [W = VAR_e * VAR_r] so
+    that tasks whose placement matters most get the most deadline slack.
+    This experiment replaces that rule with mean-time-proportional and
+    uniform shares and re-runs EAS-base (no repair, to expose the raw
+    effect of the budgets) on tight random benchmarks, reporting energy
+    and deadline misses per scheme. *)
+
+type row = {
+  seed : int;
+  per_scheme : (Noc_eas.Budget.weighting * Runner.evaluation) list;
+}
+
+val schemes : Noc_eas.Budget.weighting list
+val scheme_name : Noc_eas.Budget.weighting -> string
+
+val run : ?seeds:int list -> ?n_tasks:int -> ?tightness:float -> unit -> row list
+(** Defaults: seeds 0-5, 150 tasks, tightness 2.3 (the category-II
+    regime) on the category platform. *)
+
+val render : row list -> string

@@ -1,0 +1,22 @@
+let of_kinds ~cols ~rows kinds =
+  let topology = Noc_noc.Topology.mesh ~cols ~rows in
+  let pes = Array.mapi (fun index kind -> Noc_noc.Pe.of_kind ~index kind) kinds in
+  Noc_noc.Platform.make ~topology ~pes ()
+
+let av_2x2 =
+  of_kinds ~cols:2 ~rows:2
+    [| Noc_noc.Pe.Risc_fast; Noc_noc.Pe.Dsp; Noc_noc.Pe.Risc_lowpower; Noc_noc.Pe.Accel |]
+
+let av_3x3 =
+  of_kinds ~cols:3 ~rows:3
+    [|
+      Noc_noc.Pe.Risc_fast;
+      Noc_noc.Pe.Dsp;
+      Noc_noc.Pe.Risc_lowpower;
+      Noc_noc.Pe.Dsp;
+      Noc_noc.Pe.Accel;
+      Noc_noc.Pe.Risc_fast;
+      Noc_noc.Pe.Risc_lowpower;
+      Noc_noc.Pe.Accel;
+      Noc_noc.Pe.Dsp;
+    |]

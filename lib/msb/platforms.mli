@@ -1,0 +1,14 @@
+(** The heterogeneous platforms of the multimedia experiments.
+
+    The paper schedules the A/V encoder and decoder on heterogeneous 2x2
+    NoCs and the integrated system on a heterogeneous 3x3 NoC. The exact
+    PE mix is not published; we use a representative mix of a fast RISC,
+    a low-power core, DSPs and an accelerator, with canonical (unjittered)
+    factors so the benchmarks are stable across runs. *)
+
+val av_2x2 : Noc_noc.Platform.t
+(** [risc-fast, dsp; risc-lowpower, accel]. *)
+
+val av_3x3 : Noc_noc.Platform.t
+(** A 3x3 mix with three DSPs, two fast RISCs, two low-power cores and
+    two accelerators' worth of capability (9 tiles). *)

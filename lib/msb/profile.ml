@@ -1,0 +1,15 @@
+type clip = Akiyo | Foreman | Toybox
+
+let all_clips = [ Akiyo; Foreman; Toybox ]
+
+let clip_name = function
+  | Akiyo -> "akiyo"
+  | Foreman -> "foreman"
+  | Toybox -> "toybox"
+
+type t = { time_scale : float; volume_scale : float }
+
+let scales = function
+  | Akiyo -> { time_scale = 0.85; volume_scale = 0.75 }
+  | Foreman -> { time_scale = 1.0; volume_scale = 1.0 }
+  | Toybox -> { time_scale = 1.25; volume_scale = 1.35 }

@@ -1,0 +1,23 @@
+(** Clip profiles for the Multimedia System Benchmarks (paper Sec. 6.2).
+
+    The paper profiles an MP3/H.263 A/V encoder and decoder on three real
+    clips — {e akiyo} (talking head, low motion), {e foreman} (medium
+    motion) and {e toybox} (high motion) — by instrumenting the C++
+    codecs. Those traces are not public; we substitute per-clip scale
+    factors applied to nominal per-task execution times and inter-task
+    volumes, reflecting how motion complexity drives both computation
+    (motion estimation, entropy coding) and communication (residual and
+    bitstream sizes). *)
+
+type clip = Akiyo | Foreman | Toybox
+
+val all_clips : clip list
+val clip_name : clip -> string
+
+type t = {
+  time_scale : float;  (** Multiplies nominal execution times. *)
+  volume_scale : float;  (** Multiplies nominal communication volumes. *)
+}
+
+val scales : clip -> t
+(** Akiyo (0.85, 0.75), Foreman (1.0, 1.0), Toybox (1.25, 1.35). *)

@@ -1,0 +1,19 @@
+type t = { e_sbit : float; e_lbit : float }
+
+let make ~e_sbit ~e_lbit =
+  if e_sbit < 0. || e_lbit < 0. then
+    invalid_arg "Energy_model.make: energies must be non-negative";
+  { e_sbit; e_lbit }
+
+let default = { e_sbit = 0.000284; e_lbit = 0.000449 }
+
+let bit_energy t ~n_hops =
+  assert (n_hops >= 0);
+  if n_hops = 0 then 0.
+  else
+    (float_of_int n_hops *. t.e_sbit)
+    +. (float_of_int (n_hops - 1) *. t.e_lbit)
+
+let transfer_energy t ~n_hops ~bits =
+  assert (bits >= 0.);
+  bits *. bit_energy t ~n_hops

@@ -1,0 +1,31 @@
+(** Bit-energy model of the communication network (paper Sec. 3.2).
+
+    Following Ye et al. and Hu et al., the energy of moving one bit
+    through one router and one inter-tile link is
+    [E_bit = E_Sbit + E_Lbit] (Eq. 1), and the energy of sending one bit
+    from tile [t_i] to tile [t_j] along a minimal deterministic route is
+
+    {[ E_bit(t_i, t_j) = n_hops * E_Sbit + (n_hops - 1) * E_Lbit ]}
+
+    (Eq. 2), where [n_hops] counts the routers traversed. Buffering
+    energy is deliberately excluded, as in the paper. All energies are in
+    nanojoules per bit. *)
+
+type t = {
+  e_sbit : float;  (** Switch energy per bit, nJ. *)
+  e_lbit : float;  (** Link energy per bit, nJ. *)
+}
+
+val make : e_sbit:float -> e_lbit:float -> t
+(** Raises [Invalid_argument] on negative components. *)
+
+val default : t
+(** Representative 100 nm-era figures of the bit-energy literature:
+    [e_sbit = 0.000284] nJ/bit, [e_lbit = 0.000449] nJ/bit. *)
+
+val bit_energy : t -> n_hops:int -> float
+(** Eq. (2). Zero when [n_hops = 0] (source and destination share a
+    tile, the network is not used). *)
+
+val transfer_energy : t -> n_hops:int -> bits:float -> float
+(** [bits * bit_energy ~n_hops]. *)

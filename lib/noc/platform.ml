@@ -1,0 +1,74 @@
+type t = {
+  topology : Topology.t;
+  pes : Pe.t array;
+  energy : Energy_model.t;
+  link_bandwidth : float;
+  router_latency : float;
+}
+
+let make ~topology ~pes ?(energy = Energy_model.default) ?(link_bandwidth = 3200.)
+    ?(router_latency = 0.) () =
+  if Array.length pes <> Topology.n_nodes topology then
+    invalid_arg "Platform.make: one PE per tile required";
+  Array.iteri
+    (fun i pe ->
+      if pe.Pe.index <> i then invalid_arg "Platform.make: PE index mismatch")
+    pes;
+  if not (link_bandwidth > 0.) then
+    invalid_arg "Platform.make: bandwidth must be positive";
+  if not (router_latency >= 0.) then
+    invalid_arg "Platform.make: router latency must be non-negative";
+  { topology; pes; energy; link_bandwidth; router_latency }
+
+let topology t = t.topology
+let energy_model t = t.energy
+let n_pes t = Array.length t.pes
+let pe t i = t.pes.(i)
+let pes t = t.pes
+let link_bandwidth t = t.link_bandwidth
+let router_latency t = t.router_latency
+let route t ~src ~dst = Routing.route t.topology ~src ~dst
+let route_links t ~src ~dst = Routing.links t.topology ~src ~dst
+let hops t ~src ~dst = Routing.hops t.topology ~src ~dst
+let bit_energy t ~src ~dst = Energy_model.bit_energy t.energy ~n_hops:(hops t ~src ~dst)
+
+let comm_energy t ~src ~dst ~bits =
+  Energy_model.transfer_energy t.energy ~n_hops:(hops t ~src ~dst) ~bits
+
+let comm_duration t ~src ~dst ~bits =
+  assert (bits >= 0.);
+  if src = dst then 0.
+  else
+    (* Serialisation latency plus the wormhole head's pipeline delay
+       through the intermediate routers. *)
+    (bits /. t.link_bandwidth)
+    +. (float_of_int (hops t ~src ~dst - 1) *. t.router_latency)
+
+let all_links t = Routing.all_links t.topology
+
+let heterogeneous ?(seed = 0) topology () =
+  let rng = Noc_util.Prng.create ~seed:(seed lxor 0x6e6f63) in
+  let pes =
+    Array.init (Topology.n_nodes topology) (fun i ->
+        let kind = Pe.all_kinds.(i mod Array.length Pe.all_kinds) in
+        let tf, pf = Pe.default_factors kind in
+        let jitter () = Noc_util.Prng.float_in rng ~min:0.9 ~max:1.1 in
+        Pe.make ~index:i ~kind ~time_factor:(tf *. jitter ())
+          ~power_factor:(pf *. jitter ()))
+  in
+  make ~topology ~pes ()
+
+let heterogeneous_mesh ?seed ~cols ~rows () =
+  heterogeneous ?seed (Topology.mesh ~cols ~rows) ()
+
+let homogeneous_mesh ~cols ~rows =
+  let topology = Topology.mesh ~cols ~rows in
+  let pes =
+    Array.init (cols * rows) (fun i ->
+        Pe.make ~index:i ~kind:Pe.Dsp ~time_factor:1. ~power_factor:1.)
+  in
+  make ~topology ~pes ()
+
+let pp ppf t =
+  Format.fprintf ppf "platform(%a, %d PEs, bw=%g)" Topology.pp t.topology
+    (n_pes t) t.link_bandwidth

@@ -1,0 +1,77 @@
+(** Target platforms: the paper's Architecture Characterization Graph.
+
+    A platform combines a topology, one heterogeneous PE per tile, the
+    bit-energy model, and a uniform link bandwidth. It provides exactly
+    the two per-route metrics of Definition 2: [e(r_{i,j})] (average
+    energy per bit between two PEs, from Eq. 2) and [b(r_{i,j})] (route
+    bandwidth, uniform here since wormhole routing pipelines flits over
+    identical links). *)
+
+type t
+
+val make :
+  topology:Topology.t ->
+  pes:Pe.t array ->
+  ?energy:Energy_model.t ->
+  ?link_bandwidth:float ->
+  ?router_latency:float ->
+  unit ->
+  t
+(** [make ~topology ~pes ()] builds a platform. [pes] must contain one
+    descriptor per tile, at its own index. [link_bandwidth] is in bits
+    per time unit and defaults to [3200.] (a 32-bit channel at one flit
+    per cycle with the microsecond as time unit and a 100 MHz clock).
+    [router_latency] (default [0.]) is the per-router head-flit pipeline
+    delay added once per intermediate hop to every transaction's
+    duration. Raises [Invalid_argument] on mismatched PE arrays,
+    non-positive bandwidth or negative latency. *)
+
+val topology : t -> Topology.t
+val energy_model : t -> Energy_model.t
+val n_pes : t -> int
+val pe : t -> int -> Pe.t
+val pes : t -> Pe.t array
+val link_bandwidth : t -> float
+val router_latency : t -> float
+
+val route : t -> src:int -> dst:int -> int list
+(** Routers visited between the two PEs' tiles (see {!Routing.route}). *)
+
+val route_links : t -> src:int -> dst:int -> Routing.link list
+val hops : t -> src:int -> dst:int -> int
+
+val bit_energy : t -> src:int -> dst:int -> float
+(** [e(r_{src,dst})] of Definition 2: energy per bit over the route. *)
+
+val comm_energy : t -> src:int -> dst:int -> bits:float -> float
+(** Total network energy for moving [bits] from [src] to [dst]. Zero when
+    they share a tile. *)
+
+val comm_duration : t -> src:int -> dst:int -> bits:float -> float
+(** Time a transaction occupies its route: [bits / b(r)] plus
+    [(hops - 1) * router_latency] for distinct tiles, [0.] on the same
+    tile. Wormhole routing pipelines the flits, so with the default zero
+    router latency the serialisation delay dominates and is independent
+    of hop count, matching the paper's single path reservation. *)
+
+val all_links : t -> Routing.link list
+
+(** {1 Deterministic heterogeneous presets} *)
+
+val heterogeneous : ?seed:int -> Topology.t -> unit -> t
+(** A platform over an arbitrary topology whose PE kinds cycle through
+    {!Pe.all_kinds} with mild per-tile factor perturbation drawn from
+    [seed] (default 0); deterministic. Platforms built this way over
+    different topologies of equal size have identical PE arrays, which
+    is what the topology-comparison experiments need. *)
+
+val heterogeneous_mesh : ?seed:int -> cols:int -> rows:int -> unit -> t
+(** A mesh whose PE kinds cycle through {!Pe.all_kinds} with mild
+    per-tile factor perturbation drawn from [seed] (default 0): every
+    call with equal arguments yields the same platform. *)
+
+val homogeneous_mesh : cols:int -> rows:int -> t
+(** All-DSP mesh with unit factors — useful for tests where heterogeneity
+    would obscure the property under test. *)
+
+val pp : Format.formatter -> t -> unit

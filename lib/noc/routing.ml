@@ -1,0 +1,83 @@
+type link = { from_node : int; to_node : int }
+
+(* Deterministic shortest-path parents towards [src]: for every node the
+   parent is the smallest-index neighbour one step closer to [src].
+   Used for topologies without dimension-order geometry (honeycombs).
+   Memoised per (topology, source). *)
+let parent_cache : (Topology.t * int, int array) Hashtbl.t = Hashtbl.create 16
+
+let bfs_parents topo src =
+  match Hashtbl.find_opt parent_cache (topo, src) with
+  | Some parents -> parents
+  | None ->
+    let dist = Topology.bfs_distances topo src in
+    let n = Topology.n_nodes topo in
+    let parents = Array.make n (-1) in
+    for v = 0 to n - 1 do
+      if v <> src && dist.(v) > 0 then
+        parents.(v) <-
+          List.fold_left
+            (fun best w ->
+              if dist.(w) = dist.(v) - 1 && (best = -1 || w < best) then w else best)
+            (-1) (Topology.neighbours topo v)
+    done;
+    Hashtbl.replace parent_cache (topo, src) parents;
+    parents
+
+let bfs_route topo ~src ~dst =
+  if src = dst then [ src ]
+  else begin
+    let parents = bfs_parents topo src in
+    let rec walk node acc =
+      if node = src then node :: acc
+      else begin
+        let parent = parents.(node) in
+        if parent < 0 then invalid_arg "Routing.route: disconnected topology";
+        walk parent (node :: acc)
+      end
+    in
+    walk dst []
+  end
+
+let xy_route topo ~src ~dst =
+  let rec go node acc =
+    if node = dst then List.rev (node :: acc)
+    else
+      let dx, dy = Topology.deltas topo node dst in
+      let next =
+        if dx <> 0 then Topology.step topo node ~dx ~dy:0
+        else Topology.step topo node ~dx:0 ~dy
+      in
+      go next (node :: acc)
+  in
+  go src []
+
+let route topo ~src ~dst =
+  match topo with
+  | Topology.Mesh _ | Topology.Torus _ -> xy_route topo ~src ~dst
+  | Topology.Honeycomb _ -> bfs_route topo ~src ~dst
+
+let links_of_route nodes =
+  let rec pair = function
+    | a :: (b :: _ as rest) -> { from_node = a; to_node = b } :: pair rest
+    | [ _ ] | [] -> []
+  in
+  pair nodes
+
+let links topo ~src ~dst = links_of_route (route topo ~src ~dst)
+
+let hops topo ~src ~dst =
+  if src = dst then 0 else Topology.distance topo src dst + 1
+
+let all_links topo =
+  let n = Topology.n_nodes topo in
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    List.iter
+      (fun j -> acc := { from_node = i; to_node = j } :: !acc)
+      (List.rev (Topology.neighbours topo i))
+  done;
+  !acc
+
+let link_equal a b = a.from_node = b.from_node && a.to_node = b.to_node
+let pp_link ppf l = Format.fprintf ppf "%d->%d" l.from_node l.to_node

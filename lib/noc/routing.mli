@@ -1,0 +1,38 @@
+(** Deterministic routing.
+
+    The paper uses dimension-ordered XY routing on the mesh: a packet
+    first travels along the X axis to the destination column, then along
+    the Y axis. The same discipline applies on a torus, with each axis
+    taking its shorter wrap direction. Honeycombs (the paper's Sec. 7
+    extension) have no XY geometry, so they route over deterministic
+    per-source shortest-path trees (breadth-first, smallest-index parent),
+    memoised per topology. Deterministic routing is what lets the static
+    scheduler know, for every transaction, exactly which links it will
+    occupy. *)
+
+type link = { from_node : int; to_node : int }
+(** A directed physical channel between adjacent routers. *)
+
+val route : Topology.t -> src:int -> dst:int -> int list
+(** [route topo ~src ~dst] is the ordered list of routers visited,
+    inclusive of both endpoints; [[src]] when [src = dst]. The length is
+    [distance src dst + 1]. *)
+
+val links_of_route : int list -> link list
+(** Consecutive pairs of a router list. *)
+
+val links : Topology.t -> src:int -> dst:int -> link list
+(** [links_of_route (route topo ~src ~dst)]. *)
+
+val hops : Topology.t -> src:int -> dst:int -> int
+(** Number of routers traversed: [distance + 1] when [src <> dst]
+    (both the source and destination routers switch the packet), and [0]
+    when [src = dst] (the network is not used). This is the [n_hops] of
+    the paper's Eq. (2). *)
+
+val all_links : Topology.t -> link list
+(** Every directed physical channel of the topology, deterministically
+    ordered. *)
+
+val link_equal : link -> link -> bool
+val pp_link : Format.formatter -> link -> unit

@@ -1,0 +1,146 @@
+type t =
+  | Mesh of { cols : int; rows : int }
+  | Torus of { cols : int; rows : int }
+  | Honeycomb of { cols : int; rows : int }
+
+let check_dims ~cols ~rows =
+  if cols <= 0 || rows <= 0 then invalid_arg "Topology: dimensions must be positive"
+
+let mesh ~cols ~rows =
+  check_dims ~cols ~rows;
+  Mesh { cols; rows }
+
+let torus ~cols ~rows =
+  check_dims ~cols ~rows;
+  Torus { cols; rows }
+
+let honeycomb ~cols ~rows =
+  check_dims ~cols ~rows;
+  if cols < 2 && rows > 1 then
+    invalid_arg "Topology.honeycomb: a single column is disconnected";
+  Honeycomb { cols; rows }
+
+let dims = function
+  | Mesh { cols; rows } | Torus { cols; rows } | Honeycomb { cols; rows } ->
+    (cols, rows)
+
+let cols t = fst (dims t)
+let rows t = snd (dims t)
+let n_nodes t = cols t * rows t
+
+let coords t i =
+  if i < 0 || i >= n_nodes t then invalid_arg "Topology.coords: index out of range";
+  (i mod cols t, i / cols t)
+
+let index t ~x ~y =
+  if x < 0 || x >= cols t || y < 0 || y >= rows t then
+    invalid_arg "Topology.index: coordinates out of range";
+  (y * cols t) + x
+
+(* Signed shortest displacement from [a] to [b] along one axis. *)
+let axis_delta ~wrap ~size a b =
+  let d = b - a in
+  if not wrap then d
+  else
+    let d = ((d mod size) + size) mod size in
+    (* Prefer the shorter direction; ties resolved towards positive. *)
+    if d * 2 <= size then d else d - size
+
+let deltas t i j =
+  match t with
+  | Honeycomb _ ->
+    invalid_arg "Topology.deltas: honeycombs have no dimension-order geometry"
+  | Mesh _ | Torus _ ->
+    let xi, yi = coords t i and xj, yj = coords t j in
+    let wrap = match t with Mesh _ | Honeycomb _ -> false | Torus _ -> true in
+    ( axis_delta ~wrap ~size:(cols t) xi xj,
+      axis_delta ~wrap ~size:(rows t) yi yj )
+
+(* Brick-wall honeycomb adjacency: full horizontal rows, and a vertical
+   link between (x, y) and (x, y+1) only where x + y is even, giving the
+   degree-3 hexagonal pattern of Hemani et al. *)
+let honeycomb_neighbours t i =
+  let x, y = coords t i in
+  let candidates =
+    [ (x - 1, y); (x + 1, y) ]
+    @ (if (x + y) mod 2 = 0 then [ (x, y + 1) ] else [ (x, y - 1) ])
+  in
+  List.filter_map
+    (fun (x, y) ->
+      if x >= 0 && x < cols t && y >= 0 && y < rows t then Some (index t ~x ~y)
+      else None)
+    candidates
+
+let neighbours t i =
+  match t with
+  | Honeycomb _ -> honeycomb_neighbours t i
+  | Mesh _ | Torus _ ->
+    let x, y = coords t i in
+    let wrap v size =
+      match t with
+      | Torus _ -> Some (((v mod size) + size) mod size)
+      | Mesh _ | Honeycomb _ -> if v < 0 || v >= size then None else Some v
+    in
+    List.filter_map
+      (fun (x', y') ->
+        match (wrap x' (cols t), wrap y' (rows t)) with
+        | Some x, Some y ->
+          let j = index t ~x ~y in
+          if j = i then None else Some j
+        | None, _ | _, None -> None)
+      [ (x - 1, y); (x + 1, y); (x, y - 1); (x, y + 1) ]
+
+(* Breadth-first distances from one node; used for honeycombs (and as a
+   reference implementation in tests). *)
+let bfs_distances t src =
+  let n = n_nodes t in
+  let dist = Array.make n (-1) in
+  dist.(src) <- 0;
+  let queue = Queue.create () in
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun w ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w queue
+        end)
+      (neighbours t v)
+  done;
+  dist
+
+let distance t i j =
+  match t with
+  | Mesh _ | Torus _ ->
+    let dx, dy = deltas t i j in
+    abs dx + abs dy
+  | Honeycomb _ ->
+    ignore (coords t i);
+    ignore (coords t j);
+    let d = (bfs_distances t i).(j) in
+    if d < 0 then invalid_arg "Topology.distance: disconnected honeycomb" else d
+
+let are_neighbours t i j = i <> j && List.mem j (neighbours t i)
+
+let step t i ~dx ~dy =
+  if (dx = 0) = (dy = 0) then
+    invalid_arg "Topology.step: exactly one axis must move";
+  match t with
+  | Honeycomb _ -> invalid_arg "Topology.step: honeycombs have no XY moves"
+  | Mesh _ | Torus _ ->
+    let x, y = coords t i in
+    let wrap v size =
+      match t with
+      | Torus _ -> ((v mod size) + size) mod size
+      | Mesh _ | Honeycomb _ ->
+        if v < 0 || v >= size then invalid_arg "Topology.step: off-chip move" else v
+    in
+    let x' = wrap (x + compare dx 0) (cols t) in
+    let y' = wrap (y + compare dy 0) (rows t) in
+    if dx <> 0 then index t ~x:x' ~y else index t ~x ~y:y'
+
+let pp ppf = function
+  | Mesh { cols; rows } -> Format.fprintf ppf "mesh %dx%d" cols rows
+  | Torus { cols; rows } -> Format.fprintf ppf "torus %dx%d" cols rows
+  | Honeycomb { cols; rows } -> Format.fprintf ppf "honeycomb %dx%d" cols rows

@@ -1,0 +1,67 @@
+(** Regular NoC topologies.
+
+    The paper's illustrative platform is an [n x n] 2-D mesh; Sec. 7
+    notes the algorithm extends to other regular topologies with
+    deterministic routing, naming the honeycomb of Hemani et al. as an
+    example — both a torus and a brick-wall honeycomb are provided.
+    Tiles are indexed row-major: tile [(x, y)] (column [x], row [y]) has
+    index [y * cols + x]. *)
+
+type t =
+  | Mesh of { cols : int; rows : int }
+  | Torus of { cols : int; rows : int }
+  | Honeycomb of { cols : int; rows : int }
+      (** Brick-wall hexagonal pattern: full horizontal rows plus a
+          vertical link between [(x, y)] and [(x, y+1)] exactly where
+          [x + y] is even, so every router has degree at most 3. *)
+
+val mesh : cols:int -> rows:int -> t
+(** Raises [Invalid_argument] on non-positive dimensions. *)
+
+val torus : cols:int -> rows:int -> t
+
+val honeycomb : cols:int -> rows:int -> t
+(** Raises [Invalid_argument] on non-positive dimensions or a
+    disconnected single-column multi-row pattern. *)
+
+val n_nodes : t -> int
+val cols : t -> int
+val rows : t -> int
+
+val coords : t -> int -> int * int
+(** [coords t i] is the [(x, y)] position of tile [i]. Raises
+    [Invalid_argument] when [i] is out of range. *)
+
+val index : t -> x:int -> y:int -> int
+(** Inverse of {!coords}. *)
+
+val neighbours : t -> int -> int list
+(** Tiles one physical link away, in a deterministic order. *)
+
+val are_neighbours : t -> int -> int -> bool
+(** True when a direct physical link connects the two tiles (including
+    wrap-around links on a torus). *)
+
+val distance : t -> int -> int -> int
+(** Minimal hop distance between two routers: Manhattan distance on a
+    mesh, wrap-aware on a torus, breadth-first on a honeycomb. Zero for
+    a tile and itself. *)
+
+val bfs_distances : t -> int -> int array
+(** All minimal distances from one tile ([-1] for unreachable tiles —
+    only possible on malformed honeycombs). *)
+
+val deltas : t -> int -> int -> int * int
+(** [(dx, dy)] signed displacement of the shortest path from the first
+    tile to the second, one component per axis. On a torus the shorter
+    wrap direction is chosen (ties towards positive). Raises
+    [Invalid_argument] on a honeycomb, which has no dimension-order
+    geometry. *)
+
+val step : t -> int -> dx:int -> dy:int -> int
+(** [step t i ~dx ~dy] is the neighbouring tile reached by moving one hop
+    in the direction of the (non-zero) sign of [dx] or [dy]; exactly one
+    of the two must be non-zero, and the move must stay on the chip (it
+    wraps on a torus). Raises [Invalid_argument] on a honeycomb. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,58 @@
+type model = Contention_aware | Fixed_delay
+
+type pending = { edge : int; src_pe : int; sender_finish : float; bits : float }
+
+let place ?(model = Contention_aware) state pending ~dst_pe =
+  let platform = Resource_state.platform state in
+  let src_pe = pending.src_pe in
+  if src_pe = dst_pe then
+    {
+      Schedule.edge = pending.edge;
+      src_pe;
+      dst_pe;
+      route = [ src_pe ];
+      start = pending.sender_finish;
+      finish = pending.sender_finish;
+    }
+  else begin
+    let route_nodes = Noc_noc.Platform.route platform ~src:src_pe ~dst:dst_pe in
+    let links = Noc_noc.Routing.links_of_route route_nodes in
+    let duration =
+      Noc_noc.Platform.comm_duration platform ~src:src_pe ~dst:dst_pe
+        ~bits:pending.bits
+    in
+    let start =
+      match model with
+      | Fixed_delay -> pending.sender_finish
+      | Contention_aware ->
+        Resource_state.earliest_route_gap state ~route:links
+          ~after:pending.sender_finish ~duration
+    in
+    let interval = Noc_util.Interval.make ~start ~stop:(start +. duration) in
+    (match model with
+    | Fixed_delay -> ()
+    | Contention_aware ->
+      List.iter (fun link -> Resource_state.reserve_link state link interval) links);
+    {
+      Schedule.edge = pending.edge;
+      src_pe;
+      dst_pe;
+      route = route_nodes;
+      start;
+      finish = start +. duration;
+    }
+  end
+
+let schedule_incoming ?(model = Contention_aware) state lct ~dst_pe =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = Float.compare a.sender_finish b.sender_finish in
+        if c <> 0 then c else compare a.edge b.edge)
+      lct
+  in
+  let placed = List.map (fun p -> place ~model state p ~dst_pe) sorted in
+  let drt =
+    List.fold_left (fun acc tr -> Float.max acc tr.Schedule.finish) 0. placed
+  in
+  (placed, drt)

@@ -1,0 +1,48 @@
+(** The communication scheduler of the paper's Fig. 3.
+
+    Given the list of receiving communication transactions (LCT) of a
+    task, transactions are sorted by their sender's finish time; each is
+    then assigned the earliest window of length [volume / bandwidth] that
+    is free on {i every} link of its XY route, at or after the sender's
+    finish, and reserved on all those links.
+
+    The [Fixed_delay] model is the ablation discussed in the paper's
+    introduction: previous work "just assumes a fixed delay proportional
+    to the communication volume" — transactions start exactly at the
+    sender's finish and link contention is ignored. Schedules built this
+    way look feasible to the scheduler but can overlap on links; the
+    {!Noc_sim} replay exposes the consequences. *)
+
+type model =
+  | Contention_aware  (** The paper's scheduler: links are reserved. *)
+  | Fixed_delay  (** Naive model: no reservation, no contention. *)
+
+type pending = {
+  edge : int;
+  src_pe : int;
+  sender_finish : float;
+  bits : float;
+}
+(** One receiving transaction still to be scheduled. *)
+
+val place :
+  ?model:model ->
+  Resource_state.t ->
+  pending ->
+  dst_pe:int ->
+  Schedule.transaction
+(** Schedules a single transaction towards [dst_pe] (default model
+    [Contention_aware]). Same-tile transactions complete instantaneously
+    at the sender's finish and reserve nothing. *)
+
+val schedule_incoming :
+  ?model:model ->
+  Resource_state.t ->
+  pending list ->
+  dst_pe:int ->
+  Schedule.transaction list * float
+(** [schedule_incoming state lct ~dst_pe] runs Fig. 3: sorts [lct] by
+    sender finish time (ties by edge id), places every transaction, and
+    returns them (in input order of the sorted list) together with the
+    data-ready time [DRT] — the latest arrival, or [0.] when the task
+    receives nothing. *)

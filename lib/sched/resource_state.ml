@@ -1,0 +1,59 @@
+type entry = { table : Noc_util.Timeline.t; interval : Noc_util.Interval.t }
+
+type t = {
+  platform : Noc_noc.Platform.t;
+  pe_tables : Noc_util.Timeline.t array;
+  link_tables : Noc_util.Timeline.t array;  (* indexed by src * n + dst *)
+  mutable journal : entry list;
+}
+
+let create platform =
+  let n = Noc_noc.Platform.n_pes platform in
+  {
+    platform;
+    pe_tables = Array.init n (fun _ -> Noc_util.Timeline.create ());
+    link_tables = Array.init (n * n) (fun _ -> Noc_util.Timeline.create ());
+    journal = [];
+  }
+
+let platform t = t.platform
+let pe_table t pe = t.pe_tables.(pe)
+
+let link_index t (link : Noc_noc.Routing.link) =
+  (link.from_node * Noc_noc.Platform.n_pes t.platform) + link.to_node
+
+let link_table t link = t.link_tables.(link_index t link)
+
+let journalled_reserve t table interval =
+  Noc_util.Timeline.reserve table interval;
+  if not (Noc_util.Interval.is_empty interval) then
+    t.journal <- { table; interval } :: t.journal
+
+let reserve_pe t ~pe interval = journalled_reserve t t.pe_tables.(pe) interval
+let reserve_link t link interval = journalled_reserve t (link_table t link) interval
+
+let earliest_pe_gap t ~pe ~after ~duration =
+  Noc_util.Timeline.earliest_gap t.pe_tables.(pe) ~after ~duration
+
+let earliest_route_gap t ~route ~after ~duration =
+  match route with
+  | [] -> after
+  | links ->
+    let tables = List.map (link_table t) links in
+    Noc_util.Timeline.earliest_gap_multi tables ~after ~duration
+
+type mark = entry list
+
+let mark t = t.journal
+
+let rollback t m =
+  let rec undo journal =
+    if journal == m then journal
+    else
+      match journal with
+      | [] -> invalid_arg "Resource_state.rollback: unknown mark"
+      | { table; interval } :: rest ->
+        Noc_util.Timeline.release table interval;
+        undo rest
+  in
+  t.journal <- undo t.journal

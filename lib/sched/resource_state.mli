@@ -1,0 +1,36 @@
+(** Mutable scheduling state: one schedule table per PE and per link.
+
+    EAS Step 2 repeatedly schedules communication transactions and task
+    executions {e tentatively} to evaluate [F(i,k)], then restores the
+    tables ("the schedule tables of both links and the PEs will be
+    restored every time a F(i,k) is calculated"). To make that cheap,
+    every reservation made through this module is journalled; a
+    {!mark} / {!rollback} pair undoes everything reserved in between in
+    O(reservations undone). *)
+
+type t
+
+val create : Noc_noc.Platform.t -> t
+val platform : t -> Noc_noc.Platform.t
+
+val pe_table : t -> int -> Noc_util.Timeline.t
+val link_table : t -> Noc_noc.Routing.link -> Noc_util.Timeline.t
+
+val reserve_pe : t -> pe:int -> Noc_util.Interval.t -> unit
+(** Journalled PE reservation. Raises [Invalid_argument] on overlap. *)
+
+val reserve_link : t -> Noc_noc.Routing.link -> Noc_util.Interval.t -> unit
+
+val earliest_pe_gap : t -> pe:int -> after:float -> duration:float -> float
+val earliest_route_gap :
+  t -> route:Noc_noc.Routing.link list -> after:float -> duration:float -> float
+(** Earliest slot simultaneously free on every link of the route: the
+    paper's merged path schedule table (Fig. 3). With an empty route the
+    answer is [after]. *)
+
+type mark
+
+val mark : t -> mark
+val rollback : t -> mark -> unit
+(** [rollback t m] releases every reservation made since [mark t]
+    returned [m]. Marks must be rolled back innermost-first. *)

@@ -1,0 +1,122 @@
+let float_to_string v =
+  let short = Printf.sprintf "%.12g" v in
+  if float_of_string short = v then short else Printf.sprintf "%.17g" v
+
+let to_string schedule =
+  let buf = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "schedule 1\n";
+  Array.iter
+    (fun (p : Schedule.placement) ->
+      add "place %d pe %d start %s finish %s\n" p.task p.pe (float_to_string p.start)
+        (float_to_string p.finish))
+    (Schedule.placements schedule);
+  Array.iter
+    (fun (tr : Schedule.transaction) ->
+      add "trans %d start %s finish %s\n" tr.edge (float_to_string tr.start)
+        (float_to_string tr.finish))
+    (Schedule.transactions schedule);
+  Buffer.contents buf
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun msg -> raise (Parse_error (line, msg))) fmt
+
+let parse_float line what s =
+  match float_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "%s: not a number (%S)" what s
+
+let parse_int line what s =
+  match int_of_string_opt s with
+  | Some v -> v
+  | None -> fail line "%s: not an integer (%S)" what s
+
+let of_string platform ctg text =
+  let n = Noc_ctg.Ctg.n_tasks ctg and m = Noc_ctg.Ctg.n_edges ctg in
+  let placements : Schedule.placement option array = Array.make n None in
+  let transactions : Schedule.transaction option array = Array.make m None in
+  let version_seen = ref false in
+  try
+    List.iteri
+      (fun i line ->
+        let line_no = i + 1 in
+        let words =
+          (match String.index_opt line '#' with
+          | Some j -> String.sub line 0 j
+          | None -> line)
+          |> String.split_on_char ' '
+          |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | [] -> ()
+        | [ "schedule"; "1" ] -> version_seen := true
+        | [ "place"; task; "pe"; pe; "start"; start; "finish"; finish ] ->
+          let task = parse_int line_no "task" task in
+          if task < 0 || task >= n then fail line_no "unknown task %d" task;
+          if placements.(task) <> None then fail line_no "duplicate placement %d" task;
+          placements.(task) <-
+            Some
+              {
+                Schedule.task;
+                pe = parse_int line_no "pe" pe;
+                start = parse_float line_no "start" start;
+                finish = parse_float line_no "finish" finish;
+              }
+        | [ "trans"; edge; "start"; start; "finish"; finish ] ->
+          let edge_id = parse_int line_no "edge" edge in
+          if edge_id < 0 || edge_id >= m then fail line_no "unknown edge %d" edge_id;
+          if transactions.(edge_id) <> None then
+            fail line_no "duplicate transaction %d" edge_id;
+          let e = Noc_ctg.Ctg.edge ctg edge_id in
+          let src_placement = placements.(e.Noc_ctg.Edge.src) in
+          let dst_placement = placements.(e.Noc_ctg.Edge.dst) in
+          (match (src_placement, dst_placement) with
+          | Some sp, Some dp ->
+            let src_pe = sp.Schedule.pe and dst_pe = dp.Schedule.pe in
+            transactions.(edge_id) <-
+              Some
+                {
+                  Schedule.edge = edge_id;
+                  src_pe;
+                  dst_pe;
+                  route = Noc_noc.Platform.route platform ~src:src_pe ~dst:dst_pe;
+                  start = parse_float line_no "start" start;
+                  finish = parse_float line_no "finish" finish;
+                }
+          | None, _ | _, None ->
+            fail line_no "transaction %d before both endpoint placements" edge_id)
+        | keyword :: _ -> fail line_no "unknown keyword %S" keyword)
+      (String.split_on_char '\n' text);
+    if not !version_seen then Error "missing header line (schedule 1)"
+    else begin
+      Array.iteri
+        (fun i p -> if p = None then raise (Parse_error (0, Printf.sprintf "task %d missing" i)))
+        placements;
+      Array.iteri
+        (fun e t ->
+          if t = None then raise (Parse_error (0, Printf.sprintf "transaction %d missing" e)))
+        transactions;
+      Ok
+        (Schedule.make
+           ~placements:(Array.map Option.get placements)
+           ~transactions:(Array.map Option.get transactions))
+    end
+  with
+  | Parse_error (0, msg) -> Error msg
+  | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
+  | Invalid_argument msg -> Error msg
+
+let save ~path schedule =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string schedule))
+
+let load ~path platform ctg =
+  match open_in path with
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> of_string platform ctg (In_channel.input_all ic))
+  | exception Sys_error msg -> Error msg

@@ -1,0 +1,26 @@
+(** Plain-text serialisation of schedules.
+
+    A schedule is stored as one line per placement and per transaction:
+
+    {v
+    schedule 1
+    place <task> pe <pe> start <t> finish <t>
+    trans <edge> start <t> finish <t>
+    v}
+
+    Routes are not stored: they are a function of the platform and the
+    endpoint PEs, so {!of_string} recomputes them (and therefore needs
+    the platform and the graph, which also let it re-derive each
+    transaction's endpoints). Floats round-trip exactly. *)
+
+val to_string : Schedule.t -> string
+
+val of_string :
+  Noc_noc.Platform.t -> Noc_ctg.Ctg.t -> string -> (Schedule.t, string) result
+(** Structural errors (wrong counts, unknown ids, bad numbers) are
+    reported with line numbers. The result is {e not} validated for
+    feasibility — run {!Validate.check} for that. *)
+
+val save : path:string -> Schedule.t -> unit
+val load :
+  path:string -> Noc_noc.Platform.t -> Noc_ctg.Ctg.t -> (Schedule.t, string) result

@@ -1,0 +1,79 @@
+type pe_load = { pe : int; busy_time : float; n_tasks : int; utilisation : float }
+
+type link_load = {
+  link : Noc_noc.Routing.link;
+  busy_time : float;
+  n_transactions : int;
+  utilisation : float;
+}
+
+type t = { horizon : float; pe_loads : pe_load array; link_loads : link_load list }
+
+let compute platform schedule =
+  let horizon = Schedule.makespan schedule in
+  let ratio busy = if horizon > 0. then busy /. horizon else 0. in
+  let pe_loads =
+    Array.init (Noc_noc.Platform.n_pes platform) (fun pe ->
+        let placements = Schedule.tasks_on_pe schedule ~pe in
+        let busy_time =
+          List.fold_left
+            (fun acc (p : Schedule.placement) -> acc +. (p.finish -. p.start))
+            0. placements
+        in
+        { pe; busy_time; n_tasks = List.length placements; utilisation = ratio busy_time })
+  in
+  let by_link = Hashtbl.create 32 in
+  Array.iter
+    (fun (tr : Schedule.transaction) ->
+      if tr.finish > tr.start then
+        List.iter
+          (fun (link : Noc_noc.Routing.link) ->
+            let key = (link.from_node, link.to_node) in
+            let busy, count =
+              Option.value ~default:(0., 0) (Hashtbl.find_opt by_link key)
+            in
+            Hashtbl.replace by_link key (busy +. (tr.finish -. tr.start), count + 1))
+          (Schedule.links_of_transaction tr))
+    (Schedule.transactions schedule);
+  let link_loads =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_link []
+    |> List.sort compare
+    |> List.map (fun ((from_node, to_node), (busy_time, n_transactions)) ->
+           {
+             link = { Noc_noc.Routing.from_node; to_node };
+             busy_time;
+             n_transactions;
+             utilisation = ratio busy_time;
+           })
+  in
+  { horizon; pe_loads; link_loads }
+
+let busiest_pe t =
+  if Array.length t.pe_loads = 0 then invalid_arg "Utilization.busiest_pe: no PEs";
+  Array.fold_left
+    (fun (best : pe_load) (load : pe_load) ->
+      if load.busy_time > best.busy_time then load else best)
+    t.pe_loads.(0) t.pe_loads
+
+let busiest_link t =
+  List.fold_left
+    (fun best load ->
+      match best with
+      | None -> Some load
+      | Some b -> if load.busy_time > b.busy_time then Some load else best)
+    None t.link_loads
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>horizon %.1f@," t.horizon;
+  Array.iter
+    (fun (l : pe_load) ->
+      Format.fprintf ppf "pe %d: %.1f busy (%.0f%%), %d tasks@," l.pe l.busy_time
+        (100. *. l.utilisation) l.n_tasks)
+    t.pe_loads;
+  List.iter
+    (fun l ->
+      Format.fprintf ppf "link %a: %.1f busy (%.0f%%), %d transactions@,"
+        Noc_noc.Routing.pp_link l.link l.busy_time (100. *. l.utilisation)
+        l.n_transactions)
+    t.link_loads;
+  Format.fprintf ppf "@]"

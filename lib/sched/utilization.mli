@@ -1,0 +1,36 @@
+(** Resource-load reporting for schedules.
+
+    Summarises how a schedule occupies the platform: per-PE busy time,
+    task count and utilisation over the makespan, and the same per
+    directed link actually carrying traffic. Useful for platform-sizing
+    studies (see the design-space example) and for spotting hot links. *)
+
+type pe_load = {
+  pe : int;
+  busy_time : float;
+  n_tasks : int;
+  utilisation : float;  (** busy_time / horizon; 0 when the horizon is 0. *)
+}
+
+type link_load = {
+  link : Noc_noc.Routing.link;
+  busy_time : float;
+  n_transactions : int;
+  utilisation : float;
+}
+
+type t = {
+  horizon : float;  (** The schedule makespan. *)
+  pe_loads : pe_load array;  (** Indexed by PE. *)
+  link_loads : link_load list;
+      (** Links with at least one transaction, ordered by endpoints. *)
+}
+
+val compute : Noc_noc.Platform.t -> Schedule.t -> t
+
+val busiest_pe : t -> pe_load
+(** Raises [Invalid_argument] on an empty platform. *)
+
+val busiest_link : t -> link_load option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,225 @@
+module Schedule = Noc_sched.Schedule
+
+type discipline = Time_triggered | Self_timed
+
+type event = Task_finished of int | Transaction_finished of int | Wake
+
+type pending = { edge : int; eligible : float }
+
+type state = {
+  platform : Noc_noc.Platform.t;
+  ctg : Noc_ctg.Ctg.t;
+  discipline : discipline;
+  assignment : int array;
+  planned_task_start : float array;
+  planned_tr_start : float array;
+  pe_queues : int list array;  (* remaining issue order per PE *)
+  pe_busy : bool array;
+  link_busy : bool array;  (* indexed src * n + dst *)
+  inputs_remaining : int array;
+  mutable pending : pending list;  (* sorted by (eligible, edge) *)
+  events : event Event_queue.t;
+  task_start : float array;
+  task_finish : float array;
+  tr_start : float array;
+  tr_finish : float array;
+  edge_waiting : float array;
+  mutable waiting_time : float;
+  mutable finished_tasks : int;
+}
+
+let link_index st (l : Noc_noc.Routing.link) =
+  (l.from_node * Noc_noc.Platform.n_pes st.platform) + l.to_node
+
+let route_free st links = List.for_all (fun l -> not st.link_busy.(link_index st l)) links
+
+let set_route st links busy =
+  List.iter (fun l -> st.link_busy.(link_index st l) <- busy) links
+
+let insert_pending st p ~time =
+  let rec insert = function
+    | [] -> [ p ]
+    | hd :: tl ->
+      if (p.eligible, p.edge) < (hd.eligible, hd.edge) then p :: hd :: tl
+      else hd :: insert tl
+  in
+  st.pending <- insert st.pending;
+  (* A future release needs a wake-up, or the grant pass never sees it. *)
+  if p.eligible > time then Event_queue.push st.events ~time:p.eligible Wake
+
+let edge_route st e =
+  let edge = Noc_ctg.Ctg.edge st.ctg e in
+  let src_pe = st.assignment.(edge.Noc_ctg.Edge.src)
+  and dst_pe = st.assignment.(edge.Noc_ctg.Edge.dst) in
+  Noc_noc.Platform.route st.platform ~src:src_pe ~dst:dst_pe
+
+let edge_duration st e =
+  let edge = Noc_ctg.Ctg.edge st.ctg e in
+  let src_pe = st.assignment.(edge.Noc_ctg.Edge.src)
+  and dst_pe = st.assignment.(edge.Noc_ctg.Edge.dst) in
+  Noc_noc.Platform.comm_duration st.platform ~src:src_pe ~dst:dst_pe
+    ~bits:edge.Noc_ctg.Edge.volume
+
+let deliver st e =
+  let edge = Noc_ctg.Ctg.edge st.ctg e in
+  st.inputs_remaining.(edge.Noc_ctg.Edge.dst) <-
+    st.inputs_remaining.(edge.Noc_ctg.Edge.dst) - 1
+
+(* One pass of the dispatch rules at the current instant; returns true
+   when something started (so the caller loops to a fixpoint). *)
+let try_dispatch st ~time =
+  let started = ref false in
+  (* Grant eligible transactions first-come-first-served. *)
+  let still_pending =
+    List.filter
+      (fun p ->
+        let links = Noc_noc.Routing.links_of_route (edge_route st p.edge) in
+        if p.eligible <= time && route_free st links then begin
+          set_route st links true;
+          let duration = edge_duration st p.edge in
+          st.tr_start.(p.edge) <- time;
+          st.tr_finish.(p.edge) <- time +. duration;
+          st.edge_waiting.(p.edge) <- time -. p.eligible;
+          st.waiting_time <- st.waiting_time +. (time -. p.eligible);
+          Event_queue.push st.events ~time:(time +. duration)
+            (Transaction_finished p.edge);
+          started := true;
+          false
+        end
+        else true)
+      st.pending
+  in
+  st.pending <- still_pending;
+  (* Issue PE queue heads whose inputs have all arrived. *)
+  for pe = 0 to Noc_noc.Platform.n_pes st.platform - 1 do
+    match st.pe_queues.(pe) with
+    | head :: rest when (not st.pe_busy.(pe)) && st.inputs_remaining.(head) = 0 ->
+      let task_release =
+        match (Noc_ctg.Ctg.task st.ctg head).Noc_ctg.Task.release with
+        | None -> time
+        | Some r -> Float.max time r
+      in
+      let release =
+        match st.discipline with
+        | Self_timed -> task_release
+        | Time_triggered -> Float.max task_release st.planned_task_start.(head)
+      in
+      if release > time then Event_queue.push st.events ~time:release Wake
+      else begin
+        st.pe_queues.(pe) <- rest;
+        st.pe_busy.(pe) <- true;
+        let exec = (Noc_ctg.Ctg.task st.ctg head).Noc_ctg.Task.exec_times.(pe) in
+        st.task_start.(head) <- time;
+        st.task_finish.(head) <- time +. exec;
+        Event_queue.push st.events ~time:(time +. exec) (Task_finished head);
+        started := true
+      end
+    | _ :: _ | [] -> ()
+  done;
+  !started
+
+let rec dispatch_fixpoint st ~time = if try_dispatch st ~time then dispatch_fixpoint st ~time
+
+type outcome = {
+  realised : Noc_sched.Schedule.t;
+  waiting_time : float;
+  edge_waiting : float array;
+}
+
+let run ?(discipline = Time_triggered) platform ctg schedule =
+  let n = Noc_ctg.Ctg.n_tasks ctg in
+  let n_pes = Noc_noc.Platform.n_pes platform in
+  let assignment = Array.init n (fun i -> (Schedule.placement schedule i).Schedule.pe) in
+  let st =
+    {
+      platform;
+      ctg;
+      discipline;
+      assignment;
+      planned_task_start =
+        Array.init n (fun i -> (Schedule.placement schedule i).Schedule.start);
+      planned_tr_start =
+        Array.init
+          (Noc_ctg.Ctg.n_edges ctg)
+          (fun e -> (Schedule.transaction schedule e).Schedule.start);
+      pe_queues =
+        Array.init n_pes (fun pe ->
+            List.map
+              (fun (p : Schedule.placement) -> p.task)
+              (Schedule.tasks_on_pe schedule ~pe));
+      pe_busy = Array.make n_pes false;
+      link_busy = Array.make (n_pes * n_pes) false;
+      inputs_remaining = Array.init n (fun i -> List.length (Noc_ctg.Ctg.preds ctg i));
+      pending = [];
+      events = Event_queue.create ();
+      task_start = Array.make n nan;
+      task_finish = Array.make n nan;
+      tr_start = Array.make (Noc_ctg.Ctg.n_edges ctg) nan;
+      tr_finish = Array.make (Noc_ctg.Ctg.n_edges ctg) nan;
+      edge_waiting = Array.make (Noc_ctg.Ctg.n_edges ctg) 0.;
+      waiting_time = 0.;
+      finished_tasks = 0;
+    }
+  in
+  dispatch_fixpoint st ~time:0.;
+  let rec loop () =
+    match Event_queue.pop st.events with
+    | None -> ()
+    | Some (time, event) ->
+      (match event with
+      | Task_finished t ->
+        st.finished_tasks <- st.finished_tasks + 1;
+        st.pe_busy.(assignment.(t)) <- false;
+        List.iter
+          (fun (e : Noc_ctg.Edge.t) ->
+            let dst_pe = assignment.(e.dst) in
+            if dst_pe = assignment.(t) || edge_duration st e.id = 0. then begin
+              (* Local or zero-volume transfer: instantaneous. *)
+              st.tr_start.(e.id) <- time;
+              st.tr_finish.(e.id) <- time;
+              deliver st e.id
+            end
+            else begin
+              let eligible =
+                match st.discipline with
+                | Self_timed -> time
+                | Time_triggered -> Float.max time st.planned_tr_start.(e.id)
+              in
+              insert_pending st { edge = e.id; eligible } ~time
+            end)
+          (Noc_ctg.Ctg.out_edges ctg t)
+      | Transaction_finished e ->
+        set_route st (Noc_noc.Routing.links_of_route (edge_route st e)) false;
+        deliver st e
+      | Wake -> ());
+      dispatch_fixpoint st ~time;
+      loop ()
+  in
+  loop ();
+  assert (st.finished_tasks = n);
+  let placements =
+    Array.init n (fun i ->
+        {
+          Schedule.task = i;
+          pe = assignment.(i);
+          start = st.task_start.(i);
+          finish = st.task_finish.(i);
+        })
+  in
+  let transactions =
+    Array.init (Noc_ctg.Ctg.n_edges ctg) (fun e ->
+        let edge = Noc_ctg.Ctg.edge ctg e in
+        {
+          Schedule.edge = e;
+          src_pe = assignment.(edge.Noc_ctg.Edge.src);
+          dst_pe = assignment.(edge.Noc_ctg.Edge.dst);
+          route = edge_route st e;
+          start = st.tr_start.(e);
+          finish = st.tr_finish.(e);
+        })
+  in
+  {
+    realised = Schedule.make ~placements ~transactions;
+    waiting_time = st.waiting_time;
+    edge_waiting = st.edge_waiting;
+  }

@@ -1,0 +1,42 @@
+type kind = Category_i | Category_ii
+
+let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols:4 ~rows:4 ()
+
+let base_params =
+  {
+    Params.n_tasks = 500;
+    n_task_types = 40;
+    min_layer_width = 4;
+    max_layer_width = 20;
+    extra_in_degree = 1.0;
+    volume_range = (4_000., 64_000.);
+    base_time_range = (40., 400.);
+    time_jitter_sigma = 0.25;
+    energy_jitter_sigma = 0.25;
+    deadline_tightness = 2.5;
+  }
+
+(* Tightness is relative to the fastest-possible critical path; 2.5
+   leaves category I comfortable (occasional EAS-base misses, all
+   repaired), 2.3 makes category II tight (most benchmarks need the
+   search-and-repair step), mirroring the paper's two regimes. *)
+let params = function
+  | Category_i -> base_params
+  | Category_ii -> { base_params with deadline_tightness = 2.3 }
+
+let seed_of kind index =
+  (match kind with Category_i -> 1_000 | Category_ii -> 2_000) + index
+
+let benchmark kind ~index =
+  if index < 0 then invalid_arg "Category.benchmark: negative index";
+  Generate.generate ~params:(params kind) ~platform ~seed:(seed_of kind index)
+
+let suite kind = List.init 10 (fun index -> benchmark kind ~index)
+
+let scaled_params kind ~scale =
+  if not (scale > 0.) then invalid_arg "Category.scaled_params: scale must be > 0";
+  let p = params kind in
+  {
+    p with
+    Params.n_tasks = Stdlib.max 1 (int_of_float (float_of_int p.Params.n_tasks *. scale));
+  }

@@ -1,0 +1,28 @@
+(** The paper's two random benchmark suites (Sec. 6.1).
+
+    Each category contains 10 generated benchmarks of ~500 tasks and
+    ~1000 communication transactions, scheduled onto a 4x4 heterogeneous
+    NoC. Category II differs by tighter deadlines. The platform is shared
+    within a category so energies are comparable across benchmarks, as in
+    the paper's Figs. 5 and 6. *)
+
+type kind = Category_i | Category_ii
+
+val platform : Noc_noc.Platform.t
+(** The 4x4 heterogeneous mesh both categories target. *)
+
+val params : kind -> Params.t
+(** Generator parameters of the category (size ~500 tasks / ~1000 arcs;
+    Category II with a smaller deadline tightness). *)
+
+val benchmark : kind -> index:int -> Noc_ctg.Ctg.t
+(** [benchmark kind ~index] is benchmark number [index] (0-9 in the
+    paper, any non-negative index accepted) of the category;
+    deterministic. *)
+
+val suite : kind -> Noc_ctg.Ctg.t list
+(** The ten benchmarks of the category. *)
+
+val scaled_params : kind -> scale:float -> Params.t
+(** The category's parameters with [n_tasks] scaled by [scale] — used by
+    quick test/CI runs that keep the regime but shrink the size. *)

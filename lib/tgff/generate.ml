@@ -1,0 +1,146 @@
+let layer_of_tasks rng (params : Params.t) =
+  (* Assign each task id a layer index; returns the layer list (task ids
+     per layer, in id order). *)
+  let layers = ref [] and assigned = ref 0 in
+  while !assigned < params.n_tasks do
+    let width =
+      Stdlib.min
+        (params.n_tasks - !assigned)
+        (Noc_util.Prng.int_in rng ~min:params.min_layer_width
+           ~max:params.max_layer_width)
+    in
+    let members = List.init width (fun k -> !assigned + k) in
+    layers := members :: !layers;
+    assigned := !assigned + width
+  done;
+  List.rev !layers
+
+(* Per-(type, pe) cost tables, correlated through the PE factors so that
+   fast PEs are consistently fast but energy-hungry. *)
+let cost_tables rng (params : Params.t) platform =
+  let n_pes = Noc_noc.Platform.n_pes platform in
+  let tmin, tmax = params.base_time_range in
+  Array.init params.n_task_types (fun _ ->
+      let base_time = Noc_util.Prng.float_in rng ~min:tmin ~max:tmax in
+      let nominal_power = Noc_util.Prng.float_in rng ~min:0.6 ~max:1.6 in
+      let times =
+        Array.init n_pes (fun p ->
+            let pe = Noc_noc.Platform.pe platform p in
+            base_time *. pe.Noc_noc.Pe.time_factor
+            *. Noc_util.Prng.lognormal_factor rng ~sigma:params.time_jitter_sigma)
+      in
+      let energies =
+        Array.init n_pes (fun p ->
+            let pe = Noc_noc.Platform.pe platform p in
+            times.(p) *. pe.Noc_noc.Pe.power_factor *. nominal_power
+            *. Noc_util.Prng.lognormal_factor rng ~sigma:params.energy_jitter_sigma)
+      in
+      (times, energies))
+
+let generate ~params ~platform ~seed =
+  let params =
+    match Params.validate params with
+    | Ok p -> p
+    | Error msg -> invalid_arg ("Tgff.generate: " ^ msg)
+  in
+  let rng = Noc_util.Prng.create ~seed:(seed * 2654435761 + 97) in
+  let layers = layer_of_tasks rng params in
+  let tables = cost_tables rng params platform in
+  let builder = Noc_ctg.Builder.create ~n_pes:(Noc_noc.Platform.n_pes platform) in
+  (* Tasks first (ids must be dense before edges reference them). *)
+  List.iter
+    (fun members ->
+      List.iter
+        (fun _id ->
+          let ty = Noc_util.Prng.int rng ~bound:params.n_task_types in
+          let times, energies = tables.(ty) in
+          ignore
+            (Noc_ctg.Builder.add_task builder ~exec_times:(Array.copy times)
+               ~energies:(Array.copy energies) ()))
+        members)
+    layers;
+  (* Arcs: one guaranteed predecessor from the previous layer, plus
+     extras from any earlier layer (biased to recent layers). *)
+  let vmin, vmax = params.volume_range in
+  let volume () =
+    if vmax > vmin then Noc_util.Prng.float_in rng ~min:vmin ~max:vmax else vmin
+  in
+  let connected = Hashtbl.create (4 * params.n_tasks) in
+  let connect ~src ~dst =
+    if not (Hashtbl.mem connected (src, dst)) then begin
+      Hashtbl.replace connected (src, dst) ();
+      Noc_ctg.Builder.connect builder ~src ~dst ~volume:(volume ())
+    end
+  in
+  let earlier = ref [] in
+  List.iteri
+    (fun li members ->
+      if li > 0 then begin
+        let prev = Array.of_list (List.hd !earlier) in
+        let all_earlier = Array.of_list (List.concat !earlier) in
+        List.iter
+          (fun dst ->
+            let src = Noc_util.Prng.choose rng prev in
+            connect ~src ~dst;
+            (* Extra arcs: geometric-ish draw with the configured mean. *)
+            let n_extra =
+              let expected = params.extra_in_degree in
+              let base = int_of_float expected in
+              let frac = expected -. float_of_int base in
+              base + (if Noc_util.Prng.float rng ~bound:1. < frac then 1 else 0)
+            in
+            for _ = 1 to n_extra do
+              let src =
+                if Noc_util.Prng.float rng ~bound:1. < 0.7 then
+                  Noc_util.Prng.choose rng prev
+                else Noc_util.Prng.choose rng all_earlier
+              in
+              connect ~src ~dst
+            done)
+          members
+      end;
+      earlier := members :: !earlier)
+    layers;
+  let undeadlined = Noc_ctg.Builder.build_exn builder in
+  (* Deadlines: each sink gets tightness * (mean critical path to it). *)
+  (* Deadlines are set relative to the fastest-possible critical path
+     (min execution times), the true lower bound a schedule can approach;
+     tightness then has a direct meaning: 1.0 is barely feasible even on
+     the fastest PEs, larger values buy energy slack. *)
+  let n = Noc_ctg.Ctg.n_tasks undeadlined in
+  let path_to =
+    Noc_util.Topo_sort.longest_path_lengths ~n
+      ~succ:(fun v -> Noc_ctg.Ctg.succs undeadlined v)
+      ~weight:(fun v ->
+        Noc_util.Stats.min_value (Noc_ctg.Ctg.task undeadlined v).Noc_ctg.Task.exec_times)
+  in
+  let sink_set =
+    List.fold_left
+      (fun acc s -> Hashtbl.replace acc s (); acc)
+      (Hashtbl.create 16)
+      (Noc_ctg.Ctg.sinks undeadlined)
+  in
+  (* When the graph is wider than the PE array, the balanced-load bound
+     dominates any single path; deadlines must leave room for it or no
+     schedule can exist. *)
+  let load_bound =
+    Array.fold_left
+      (fun acc (t : Noc_ctg.Task.t) ->
+        acc +. Noc_util.Stats.min_value t.Noc_ctg.Task.exec_times)
+      0.
+      (Noc_ctg.Ctg.tasks undeadlined)
+    /. float_of_int (Noc_noc.Platform.n_pes platform)
+  in
+  let tasks =
+    Array.map
+      (fun (task : Noc_ctg.Task.t) ->
+        if Hashtbl.mem sink_set task.id then
+          Noc_ctg.Task.make ~id:task.id ~name:task.name
+            ~exec_times:task.exec_times ~energies:task.energies
+            ~deadline:
+              (params.deadline_tightness *. Float.max path_to.(task.id) load_bound)
+            ()
+        else task)
+      (Noc_ctg.Ctg.tasks undeadlined)
+  in
+  Noc_ctg.Ctg.make_exn ~tasks ~edges:(Noc_ctg.Ctg.edges undeadlined)

@@ -1,0 +1,16 @@
+(** Random CTG generation (TGFF-like).
+
+    The generator builds a layered DAG: layer widths are drawn from the
+    parameter range until [n_tasks] tasks exist; every non-first-layer
+    task receives one arc from the previous layer (connectivity) plus a
+    random number of extra arcs from earlier layers. Each task gets a
+    TGFF-style type; a per-(type, PE) cost table derived from the
+    platform's PE factors provides correlated heterogeneous execution
+    times and energies. Sinks receive deadlines proportional to the mean
+    critical path reaching them.
+
+    Generation is fully deterministic in [(params, platform, seed)]. *)
+
+val generate :
+  params:Params.t -> platform:Noc_noc.Platform.t -> seed:int -> Noc_ctg.Ctg.t
+(** Raises [Invalid_argument] when [params] does not validate. *)

@@ -1,0 +1,55 @@
+type t = {
+  n_tasks : int;
+  n_task_types : int;
+  min_layer_width : int;
+  max_layer_width : int;
+  extra_in_degree : float;
+  volume_range : float * float;
+  base_time_range : float * float;
+  time_jitter_sigma : float;
+  energy_jitter_sigma : float;
+  deadline_tightness : float;
+}
+
+let default =
+  {
+    n_tasks = 60;
+    n_task_types = 12;
+    min_layer_width = 2;
+    max_layer_width = 6;
+    extra_in_degree = 1.0;
+    volume_range = (4_000., 64_000.);
+    base_time_range = (40., 400.);
+    time_jitter_sigma = 0.25;
+    energy_jitter_sigma = 0.25;
+    deadline_tightness = 1.8;
+  }
+
+let validate t =
+  let check cond msg = if cond then Ok () else Error msg in
+  let ( let* ) = Result.bind in
+  let* () = check (t.n_tasks >= 1) "n_tasks must be >= 1" in
+  let* () = check (t.n_task_types >= 1) "n_task_types must be >= 1" in
+  let* () =
+    check
+      (t.min_layer_width >= 1 && t.min_layer_width <= t.max_layer_width)
+      "layer widths must satisfy 1 <= min <= max"
+  in
+  let* () = check (t.extra_in_degree >= 0.) "extra_in_degree must be >= 0" in
+  let* () =
+    check
+      (fst t.volume_range >= 0. && fst t.volume_range <= snd t.volume_range)
+      "volume_range must be ordered and non-negative"
+  in
+  let* () =
+    check
+      (fst t.base_time_range > 0. && fst t.base_time_range <= snd t.base_time_range)
+      "base_time_range must be ordered and positive"
+  in
+  let* () =
+    check
+      (t.time_jitter_sigma >= 0. && t.energy_jitter_sigma >= 0.)
+      "jitter sigmas must be >= 0"
+  in
+  let* () = check (t.deadline_tightness > 0.) "deadline_tightness must be > 0" in
+  Ok t

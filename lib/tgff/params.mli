@@ -1,0 +1,36 @@
+(** Parameters of the TGFF-like random task-graph generator.
+
+    The paper generates its random benchmarks with TGFF [Dick, Rhodes,
+    Wolf]; this module captures the knobs we need to reproduce the two
+    benchmark categories of Sec. 6.1: graph size and shape, communication
+    volumes, per-type cost tables, and deadline tightness. *)
+
+type t = {
+  n_tasks : int;  (** Approximate number of tasks (>= 1). *)
+  n_task_types : int;
+      (** TGFF semantics: tasks of the same type share a per-PE cost
+          table (perturbed per task), modelling repeated kernels. *)
+  min_layer_width : int;
+  max_layer_width : int;
+      (** The generator builds a layered DAG; widths are drawn uniformly
+          from this range. *)
+  extra_in_degree : float;
+      (** Expected number of additional incoming arcs per non-source task
+          beyond the guaranteed one; total arcs ~ n_tasks * (1 + this). *)
+  volume_range : float * float;  (** Edge volume bounds, bits. *)
+  base_time_range : float * float;
+      (** Nominal execution time bounds per task type, time units. *)
+  time_jitter_sigma : float;
+      (** Log-normal sigma perturbing each (type, PE) time entry — the
+          source of execution-time variance across PEs beyond the PE
+          factors themselves. *)
+  energy_jitter_sigma : float;
+  deadline_tightness : float;
+      (** Sink deadlines are [tightness * (mean critical path to the
+          sink)]; smaller is tighter. *)
+}
+
+val default : t
+(** A mid-sized graph (60 tasks) suitable for tests and examples. *)
+
+val validate : t -> (t, string) result

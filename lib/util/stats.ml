@@ -1,0 +1,45 @@
+let sum arr = Array.fold_left ( +. ) 0. arr
+
+let mean arr =
+  assert (Array.length arr > 0);
+  sum arr /. float_of_int (Array.length arr)
+
+let variance arr =
+  let m = mean arr in
+  let acc = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. arr in
+  acc /. float_of_int (Array.length arr)
+
+let stddev arr = sqrt (variance arr)
+
+let min_value arr =
+  assert (Array.length arr > 0);
+  Array.fold_left Float.min arr.(0) arr
+
+let max_value arr =
+  assert (Array.length arr > 0);
+  Array.fold_left Float.max arr.(0) arr
+
+let argmin arr =
+  assert (Array.length arr > 0);
+  let best = ref 0 in
+  for i = 1 to Array.length arr - 1 do
+    if arr.(i) < arr.(!best) then best := i
+  done;
+  !best
+
+let two_smallest arr =
+  assert (Array.length arr > 0);
+  let best = ref infinity and second = ref infinity in
+  Array.iter
+    (fun x ->
+      if x < !best then begin
+        second := !best;
+        best := x
+      end
+      else if x < !second then second := x)
+    arr;
+  if Array.length arr = 1 then (!best, !best) else (!best, !second)
+
+let fequal ?(eps = 1e-9) a b =
+  let diff = Float.abs (a -. b) in
+  diff <= eps || diff <= eps *. Float.max (Float.abs a) (Float.abs b)

@@ -1,0 +1,26 @@
+(** Small numeric helpers shared across the library. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Requires a non-empty array. *)
+
+val variance : float array -> float
+(** Population variance (the paper's [VAR] over the PE set is over the
+    whole population of PEs, not a sample). Requires a non-empty array. *)
+
+val stddev : float array -> float
+
+val min_value : float array -> float
+val max_value : float array -> float
+
+val argmin : float array -> int
+(** Index of the smallest element (smallest index on ties). *)
+
+val two_smallest : float array -> float * float
+(** [(best, second_best)] values of an array with at least one element;
+    when the array has a single element both components are equal. *)
+
+val sum : float array -> float
+
+val fequal : ?eps:float -> float -> float -> bool
+(** Approximate float equality: absolute or relative difference below
+    [eps] (default [1e-9]). *)

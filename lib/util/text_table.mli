@@ -1,0 +1,22 @@
+(** Plain-text table rendering for the benchmark harness and the CLI.
+
+    Produces aligned, pipe-separated tables matching the row/column shape
+    of the paper's Tables 1-3 and the series of Figs. 5-7. *)
+
+type align = Left | Right
+
+val render :
+  ?align:align list ->
+  header:string list ->
+  string list list ->
+  string
+(** [render ~header rows] lays the rows out under the header with one
+    column per header cell; rows shorter than the header are padded with
+    empty cells. [align] gives per-column alignment (default: first column
+    left, the rest right). *)
+
+val float_cell : ?decimals:int -> float -> string
+(** Fixed-point rendering, default 1 decimal. *)
+
+val percent_cell : ?decimals:int -> float -> string
+(** [percent_cell 0.443] is ["44.3%"] with default decimals 1. *)

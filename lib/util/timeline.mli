@@ -1,0 +1,57 @@
+(** Schedule tables: ordered sets of busy intervals on a shared resource.
+
+    A timeline records the busy slots of one resource (a processing element
+    or a directed network link). It supports the two operations the paper's
+    scheduler needs: finding the earliest gap of a given duration at or
+    after a release time, and reserving a slot. Internally the busy set is
+    an immutable sorted list held in a mutable cell, so snapshotting for
+    the tentative [F(i,k)] computations of EAS Step 2 is O(1). *)
+
+type t
+
+type snapshot
+(** Opaque capture of a timeline's state. *)
+
+val create : unit -> t
+(** An empty timeline. *)
+
+val busy : t -> Interval.t list
+(** Busy intervals in increasing order of start time. *)
+
+val is_free : t -> Interval.t -> bool
+(** [is_free t iv] is true when [iv] overlaps no busy interval. *)
+
+val earliest_gap : t -> after:float -> duration:float -> float
+(** [earliest_gap t ~after ~duration] returns the smallest [s >= after]
+    such that [s, s + duration) is free. Always succeeds (time is
+    unbounded to the right). [duration] must be non-negative. *)
+
+val reserve : t -> Interval.t -> unit
+(** [reserve t iv] marks [iv] busy. Raises [Invalid_argument] if [iv]
+    overlaps an existing busy interval. Empty intervals are ignored. *)
+
+val release : t -> Interval.t -> unit
+(** [release t iv] removes a busy interval equal to [iv]. Raises
+    [Invalid_argument] when no such interval exists. *)
+
+val utilisation : t -> horizon:float -> float
+(** Fraction of [0, horizon) covered by busy intervals (clipped to the
+    horizon). Requires [horizon > 0]. *)
+
+val span : t -> float
+(** Largest busy [stop] value, or [0.] when empty. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
+val merged_busy : t list -> after:float -> Interval.t list
+(** [merged_busy tls ~after] coalesces the busy intervals of all timelines
+    whose [stop] exceeds [after] into a sorted, non-overlapping list. This
+    is the paper's "path schedule table" obtained by merging the occupied
+    slots of a route's links (Fig. 3). *)
+
+val earliest_gap_multi : t list -> after:float -> duration:float -> float
+(** Earliest [s >= after] such that [s, s + duration) is simultaneously
+    free on every timeline in the list. *)
+
+val pp : Format.formatter -> t -> unit

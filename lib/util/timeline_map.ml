@@ -1,0 +1,123 @@
+module Float_map = Map.Make (Float)
+
+(* Key: interval start; value: interval stop. Intervals are disjoint, so
+   the start uniquely identifies a slot. *)
+type t = { mutable slots : float Float_map.t }
+type snapshot = float Float_map.t
+
+let create () = { slots = Float_map.empty }
+
+let busy t =
+  Float_map.bindings t.slots
+  |> List.map (fun (start, stop) -> Interval.make ~start ~stop)
+
+let overlapping t (iv : Interval.t) =
+  (* A slot [s, e) overlaps [iv.start, iv.stop) iff s < iv.stop and
+     e > iv.start. Candidates: the slot at or before iv.start (may span
+     into it) and slots starting inside [iv.start, iv.stop). *)
+  if Interval.is_empty iv then false
+  else begin
+    let before = Float_map.find_last_opt (fun s -> s <= iv.Interval.start) t.slots in
+    let spans_from_left =
+      match before with Some (_, stop) -> stop > iv.Interval.start | None -> false
+    in
+    spans_from_left
+    ||
+    match Float_map.find_first_opt (fun s -> s > iv.Interval.start) t.slots with
+    | Some (s, stop) -> s < iv.Interval.stop && stop > s
+    | None -> false
+  end
+
+let is_free t iv = not (overlapping t iv)
+
+let earliest_gap t ~after ~duration =
+  assert (duration >= 0.);
+  if duration = 0. then after
+  else begin
+    (* Start from the slot covering [after], then walk right. *)
+    let candidate =
+      match Float_map.find_last_opt (fun s -> s <= after) t.slots with
+      | Some (_, stop) when stop > after -> stop
+      | Some _ | None -> after
+    in
+    let rec walk candidate =
+      match Float_map.find_first_opt (fun s -> s >= candidate) t.slots with
+      | None -> candidate
+      | Some (s, stop) ->
+        if candidate +. duration <= s then candidate else walk (Float.max candidate stop)
+    in
+    walk candidate
+  end
+
+let reserve t iv =
+  if not (Interval.is_empty iv) then begin
+    if overlapping t iv then
+      invalid_arg (Format.asprintf "Timeline_map.reserve: %a overlaps" Interval.pp iv);
+    t.slots <- Float_map.add iv.Interval.start iv.Interval.stop t.slots
+  end
+
+let release t iv =
+  if not (Interval.is_empty iv) then begin
+    match Float_map.find_opt iv.Interval.start t.slots with
+    | Some stop when stop = iv.Interval.stop ->
+      t.slots <- Float_map.remove iv.Interval.start t.slots
+    | Some _ | None ->
+      invalid_arg
+        (Format.asprintf "Timeline_map.release: %a not reserved" Interval.pp iv)
+  end
+
+let utilisation t ~horizon =
+  assert (horizon > 0.);
+  let covered =
+    Float_map.fold
+      (fun start stop acc ->
+        acc +. Float.max 0. (Float.min stop horizon -. Float.min start horizon))
+      t.slots 0.
+  in
+  covered /. horizon
+
+let span t =
+  Float_map.fold (fun _ stop acc -> Float.max acc stop) t.slots 0.
+
+let snapshot t = t.slots
+let restore t snap = t.slots <- snap
+
+let merged_busy tls ~after =
+  let relevant =
+    List.concat_map
+      (fun tl ->
+        Float_map.fold
+          (fun start stop acc ->
+            if stop > after && stop > start then Interval.make ~start ~stop :: acc
+            else acc)
+          tl.slots [])
+      tls
+  in
+  let sorted = List.sort Interval.compare_start relevant in
+  let rec coalesce = function
+    | [] -> []
+    | [ iv ] -> [ iv ]
+    | a :: b :: rest ->
+      if b.Interval.start <= a.Interval.stop then coalesce (Interval.merge a b :: rest)
+      else a :: coalesce (b :: rest)
+  in
+  coalesce sorted
+
+let earliest_gap_multi tls ~after ~duration =
+  assert (duration >= 0.);
+  if duration = 0. then after
+  else begin
+    let merged = merged_busy tls ~after in
+    let rec walk candidate = function
+      | [] -> candidate
+      | (iv : Interval.t) :: rest ->
+        if candidate +. duration <= iv.Interval.start then candidate
+        else walk (Float.max candidate iv.Interval.stop) rest
+    in
+    walk after merged
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Interval.pp)
+    (busy t)

@@ -1,0 +1,29 @@
+(** Balanced-map schedule tables: an alternative {!Timeline}
+    implementation with logarithmic reservation.
+
+    Same observable behaviour as {!Timeline} (verified by differential
+    property tests); the busy set is a [Map] keyed by start time instead
+    of a sorted list, so [reserve]/[release]/[is_free] cost O(log n)
+    against the list's O(n), at the price of O(n) snapshots being
+    slightly heavier constants. The default scheduler stack keeps the
+    list implementation (profiles show tables stay small — tens of slots
+    — where the list's constants win; see the [micro] bench target), but
+    workloads with thousands of reservations per resource can swap this
+    module in: the two interfaces are identical. *)
+
+type t
+type snapshot
+
+val create : unit -> t
+val busy : t -> Interval.t list
+val is_free : t -> Interval.t -> bool
+val earliest_gap : t -> after:float -> duration:float -> float
+val reserve : t -> Interval.t -> unit
+val release : t -> Interval.t -> unit
+val utilisation : t -> horizon:float -> float
+val span : t -> float
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+val merged_busy : t list -> after:float -> Interval.t list
+val earliest_gap_multi : t list -> after:float -> duration:float -> float
+val pp : Format.formatter -> t -> unit

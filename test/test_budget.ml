@@ -1,0 +1,144 @@
+(* Tests for EAS Step 1 (Noc_eas.Budget), including the paper's Fig. 2
+   worked example. *)
+
+module Budget = Noc_eas.Budget
+module Builder = Noc_ctg.Builder
+
+(* Build a chain whose means and weights match Fig. 2: tasks t1, t2, t3
+   with mean execution times 300, 200, 400 and weights 100, 200, 100,
+   and d(t3) = 1300.
+
+   With two PEs, mean (a + b) / 2 and weight VAR_e * VAR_r where each
+   VAR is ((a - b) / 2)^2. Choose energies with variance 1 so the weight
+   equals the time variance: times (290, 310) give mean 300, VAR_r 100;
+   (185.86, 214.14) give mean 200, VAR_r ~200; (390, 410) give 400, 100. *)
+let fig2_graph () =
+  let b = Builder.create ~n_pes:2 in
+  let spread mean var = (mean -. sqrt var, mean +. sqrt var) in
+  let add ?deadline mean var =
+    let lo, hi = spread mean var in
+    Builder.add_task b ~exec_times:[| lo; hi |] ~energies:[| 10.; 12. |] ?deadline ()
+  in
+  (* Energies (10, 12): VAR_e = 1, so W = VAR_r. *)
+  let t1 = add 300. 100. in
+  let t2 = add 200. 200. in
+  let t3 = add ~deadline:1300. 400. 100. in
+  Builder.connect b ~src:t1 ~dst:t2 ~volume:1.;
+  Builder.connect b ~src:t2 ~dst:t3 ~volume:1.;
+  Builder.build_exn b
+
+let test_fig2_example () =
+  let g = fig2_graph () in
+  let budget = Budget.compute g in
+  Alcotest.(check (float 1e-6)) "mean t1" 300. budget.Budget.mean_times.(0);
+  Alcotest.(check (float 1e-6)) "mean t2" 200. budget.Budget.mean_times.(1);
+  Alcotest.(check (float 1e-6)) "weight t1" 100. budget.Budget.weights.(0);
+  Alcotest.(check (float 1e-6)) "weight t2" 200. budget.Budget.weights.(1);
+  Alcotest.(check (float 1e-6)) "weight t3" 100. budget.Budget.weights.(2);
+  (* The paper's result: BD = 400, 800, 1300. *)
+  Alcotest.(check (float 1e-6)) "BD t1" 400. budget.Budget.budgeted_deadlines.(0);
+  Alcotest.(check (float 1e-6)) "BD t2" 800. budget.Budget.budgeted_deadlines.(1);
+  Alcotest.(check (float 1e-6)) "BD t3" 1300. budget.Budget.budgeted_deadlines.(2)
+
+let test_sink_budget_equals_deadline () =
+  let g = fig2_graph () in
+  let budget = Budget.compute g in
+  Alcotest.(check (float 1e-6)) "sink BD = deadline" 1300.
+    budget.Budget.budgeted_deadlines.(2)
+
+let test_unconstrained_is_infinite () =
+  let b = Builder.create ~n_pes:2 in
+  let t0 = Builder.add_uniform_task b ~time:10. ~energy:1. () in
+  let t1 = Builder.add_uniform_task b ~time:10. ~energy:1. () in
+  Builder.connect b ~src:t0 ~dst:t1 ~volume:1.;
+  let budget = Budget.compute (Builder.build_exn b) in
+  Alcotest.(check bool) "no deadline -> infinite budget" true
+    (budget.Budget.budgeted_deadlines.(0) = infinity
+    && budget.Budget.budgeted_deadlines.(1) = infinity)
+
+let test_zero_weight_uniform_distribution () =
+  (* Uniform costs -> all weights 0 -> slack is split evenly. Chain of
+     two tasks with mean 100 each, deadline 400: slack 200, BDs 200/400. *)
+  let b = Builder.create ~n_pes:2 in
+  let t0 = Builder.add_uniform_task b ~time:100. ~energy:1. () in
+  let t1 = Builder.add_uniform_task b ~time:100. ~energy:1. ~deadline:400. () in
+  Builder.connect b ~src:t0 ~dst:t1 ~volume:1.;
+  let budget = Budget.compute (Builder.build_exn b) in
+  Alcotest.(check (float 1e-9)) "uniform split, first" 200.
+    budget.Budget.budgeted_deadlines.(0);
+  Alcotest.(check (float 1e-9)) "uniform split, second" 400.
+    budget.Budget.budgeted_deadlines.(1)
+
+let test_negative_slack_tightens () =
+  (* Deadline below the mean path: the sink still gets BD = deadline and
+     upstream budgets shrink below their asap. *)
+  let b = Builder.create ~n_pes:2 in
+  let t0 = Builder.add_uniform_task b ~time:100. ~energy:1. () in
+  let t1 = Builder.add_uniform_task b ~time:100. ~energy:1. ~deadline:150. () in
+  Builder.connect b ~src:t0 ~dst:t1 ~volume:1.;
+  let budget = Budget.compute (Builder.build_exn b) in
+  Alcotest.(check (float 1e-9)) "sink pinned to deadline" 150.
+    budget.Budget.budgeted_deadlines.(1);
+  Alcotest.(check bool) "upstream tightened below asap" true
+    (budget.Budget.budgeted_deadlines.(0) < budget.Budget.asap.(0))
+
+let test_budget_monotone_along_chain () =
+  let g = fig2_graph () in
+  let budget = Budget.compute g in
+  Alcotest.(check bool) "BDs increase along the chain" true
+    (budget.Budget.budgeted_deadlines.(0) < budget.Budget.budgeted_deadlines.(1)
+    && budget.Budget.budgeted_deadlines.(1) < budget.Budget.budgeted_deadlines.(2))
+
+let test_tightest_deadline_chain_chosen () =
+  (* A task with two downstream deadlines follows the tighter one. *)
+  let b = Builder.create ~n_pes:2 in
+  let t0 = Builder.add_uniform_task b ~time:100. ~energy:1. () in
+  let loose = Builder.add_uniform_task b ~time:100. ~energy:1. ~deadline:10_000. () in
+  let tight = Builder.add_uniform_task b ~time:100. ~energy:1. ~deadline:250. () in
+  Builder.connect b ~src:t0 ~dst:loose ~volume:1.;
+  Builder.connect b ~src:t0 ~dst:tight ~volume:1.;
+  let budget = Budget.compute (Builder.build_exn b) in
+  (* Through the tight sink: path mean 200, slack 50, even split -> BD(t0)
+     = 100 + 25 = 125. *)
+  Alcotest.(check (float 1e-9)) "follows the tight chain" 125.
+    budget.Budget.budgeted_deadlines.(0)
+
+let qcheck_budget_bounded_by_deadline =
+  QCheck.Test.make ~name:"every BD is at most its chain deadline" ~count:100
+    QCheck.small_int
+    (fun seed ->
+      let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:1 ~cols:3 ~rows:3 () in
+      let params = { Noc_tgff.Params.default with n_tasks = 40 } in
+      let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
+      let budget = Budget.compute ctg in
+      (* Sinks carry deadlines; their BD must equal the deadline. *)
+      List.for_all
+        (fun sink ->
+          match (Noc_ctg.Ctg.task ctg sink).Noc_ctg.Task.deadline with
+          | None -> true
+          | Some d ->
+            Noc_util.Stats.fequal ~eps:1e-6 budget.Budget.budgeted_deadlines.(sink) d)
+        (Noc_ctg.Ctg.sinks ctg))
+
+let qcheck_budget_positive =
+  QCheck.Test.make ~name:"budgets are positive" ~count:100 QCheck.small_int
+    (fun seed ->
+      let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:1 ~cols:3 ~rows:3 () in
+      let params = { Noc_tgff.Params.default with n_tasks = 40 } in
+      let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
+      let budget = Budget.compute ctg in
+      Array.for_all (fun bd -> bd > 0.) budget.Budget.budgeted_deadlines)
+
+let suite =
+  [
+    Alcotest.test_case "Fig. 2 worked example" `Quick test_fig2_example;
+    Alcotest.test_case "sink BD = deadline" `Quick test_sink_budget_equals_deadline;
+    Alcotest.test_case "unconstrained infinite" `Quick test_unconstrained_is_infinite;
+    Alcotest.test_case "zero weights split evenly" `Quick
+      test_zero_weight_uniform_distribution;
+    Alcotest.test_case "negative slack tightens" `Quick test_negative_slack_tightens;
+    Alcotest.test_case "monotone along chain" `Quick test_budget_monotone_along_chain;
+    Alcotest.test_case "tightest chain chosen" `Quick test_tightest_deadline_chain_chosen;
+    QCheck_alcotest.to_alcotest qcheck_budget_bounded_by_deadline;
+    QCheck_alcotest.to_alcotest qcheck_budget_positive;
+  ]

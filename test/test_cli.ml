@@ -1,0 +1,93 @@
+(* End-to-end smoke tests of the nocsched command-line tool. The binary
+   is declared as a test dependency in dune, so it is built and
+   reachable relative to the test's working directory. *)
+
+let binary = Filename.concat ".." (Filename.concat "bin" "nocsched.exe")
+
+let run_capture args =
+  let out = Filename.temp_file "nocsched_cli" ".out" in
+  let command = Printf.sprintf "%s %s > %s 2>&1" binary args (Filename.quote out) in
+  let code = Sys.command command in
+  let text = In_channel.with_open_text out In_channel.input_all in
+  Sys.remove out;
+  (code, text)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec scan i = i + nn <= nh && (String.sub haystack i nn = needle || scan (i + 1)) in
+  scan 0
+
+let test_generate () =
+  let code, text = run_capture "generate --tasks 12 --seed 3" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "summarises the graph" true (contains text "12 tasks")
+
+let test_generate_dot () =
+  let code, text = run_capture "generate --tasks 8 --dot" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "graphviz output" true (contains text "digraph")
+
+let test_schedule_tgff () =
+  let code, text = run_capture "schedule --benchmark tgff:1 --tasks 20 --algo eas" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "prints energy" true (contains text "energy");
+  Alcotest.(check bool) "no warnings" false (contains text "WARNING")
+
+let test_schedule_msb_gantt () =
+  let code, text = run_capture "schedule --benchmark decoder:akiyo --algo edf --gantt" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "gantt rows" true (contains text "pe  0 |")
+
+let test_schedule_roundtrip_files () =
+  let ctg_file = Filename.temp_file "cli" ".ctg" in
+  let sched_file = Filename.temp_file "cli" ".sched" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove ctg_file;
+      Sys.remove sched_file)
+    (fun () ->
+      let code, _ =
+        run_capture (Printf.sprintf "generate --tasks 15 --seed 4 -o %s" ctg_file)
+      in
+      Alcotest.(check int) "generate exit 0" 0 code;
+      let code, text =
+        run_capture
+          (Printf.sprintf "schedule --input %s --save-schedule %s --utilization"
+             ctg_file sched_file)
+      in
+      Alcotest.(check int) "schedule exit 0" 0 code;
+      Alcotest.(check bool) "utilization printed" true (contains text "pe 0:");
+      Alcotest.(check bool) "schedule file written" true (Sys.file_exists sched_file))
+
+let test_simulate () =
+  let code, text = run_capture "simulate --benchmark tgff:2 --tasks 20" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "planned and realised" true
+    (contains text "planned" && contains text "realised")
+
+let test_experiment_unknown () =
+  let code, _ = run_capture "experiment nonsense" in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
+let test_bad_benchmark () =
+  let code, _ = run_capture "schedule --benchmark bogus" in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
+let test_help () =
+  let code, text = run_capture "--help=plain" in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check bool) "lists subcommands" true
+    (contains text "generate" && contains text "experiment")
+
+let suite =
+  [
+    Alcotest.test_case "generate" `Quick test_generate;
+    Alcotest.test_case "generate --dot" `Quick test_generate_dot;
+    Alcotest.test_case "schedule tgff" `Quick test_schedule_tgff;
+    Alcotest.test_case "schedule msb with gantt" `Quick test_schedule_msb_gantt;
+    Alcotest.test_case "file roundtrip" `Quick test_schedule_roundtrip_files;
+    Alcotest.test_case "simulate" `Quick test_simulate;
+    Alcotest.test_case "unknown experiment" `Quick test_experiment_unknown;
+    Alcotest.test_case "bad benchmark" `Quick test_bad_benchmark;
+    Alcotest.test_case "help" `Quick test_help;
+  ]

@@ -1,0 +1,125 @@
+(* Tests for the DVS slack-reclamation extension. *)
+
+module Dvs = Noc_eas.Dvs
+module Schedule = Noc_sched.Schedule
+module Builder = Noc_ctg.Builder
+
+let platform = Noc_tgff.Category.platform
+
+let random_case seed =
+  let params = { Noc_tgff.Params.default with n_tasks = 50 } in
+  let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
+  let schedule = (Noc_eas.Eas.schedule platform ctg).Noc_eas.Eas.schedule in
+  (ctg, schedule)
+
+let test_factors_in_range () =
+  let ctg, schedule = random_case 0 in
+  let report = Dvs.plan ~max_stretch:2.0 ctg schedule in
+  List.iter
+    (fun (s : Dvs.stretch) ->
+      Alcotest.(check bool) "1 <= factor <= max" true
+        (s.factor >= 1. && s.factor <= 2.0 +. 1e-9))
+    report.Dvs.stretches
+
+let test_never_increases_energy () =
+  let ctg, schedule = random_case 1 in
+  let report = Dvs.plan ctg schedule in
+  Alcotest.(check bool) "saves or keeps" true
+    (report.Dvs.computation_energy_after <= report.Dvs.computation_energy_before);
+  List.iter
+    (fun (s : Dvs.stretch) ->
+      Alcotest.(check bool) "per-task monotone" true (s.energy_after <= s.energy_before))
+    report.Dvs.stretches;
+  Alcotest.(check bool) "saving in [0,1)" true
+    (Dvs.saving report >= 0. && Dvs.saving report < 1.)
+
+let test_respects_constraints () =
+  let ctg, schedule = random_case 2 in
+  let report = Dvs.plan ctg schedule in
+  List.iter
+    (fun (s : Dvs.stretch) ->
+      let p = Schedule.placement schedule s.task in
+      (* Never finishes before the original schedule says it started. *)
+      Alcotest.(check bool) "after own start" true (s.new_finish >= p.Schedule.finish -. 1e-9);
+      (* Outgoing transactions still depart after the stretched finish. *)
+      List.iter
+        (fun (e : Noc_ctg.Edge.t) ->
+          let tr = Schedule.transaction schedule e.id in
+          Alcotest.(check bool) "departures respected" true
+            (tr.Schedule.start +. 1e-6 >= s.new_finish))
+        (Noc_ctg.Ctg.out_edges ctg s.task);
+      (* Deadlines still met. *)
+      match (Noc_ctg.Ctg.task ctg s.task).Noc_ctg.Task.deadline with
+      | None -> ()
+      | Some d -> Alcotest.(check bool) "deadline kept" true (s.new_finish <= d +. 1e-6))
+    report.Dvs.stretches;
+  (* Tasks on one PE never overlap after stretching. *)
+  for pe = 0 to Noc_noc.Platform.n_pes platform - 1 do
+    let stretched_windows =
+      Schedule.tasks_on_pe schedule ~pe
+      |> List.map (fun (p : Schedule.placement) ->
+             let s = List.nth report.Dvs.stretches p.task in
+             (p.start, s.Dvs.new_finish))
+    in
+    let rec disjoint = function
+      | (_, f1) :: (((s2, _) :: _) as rest) -> f1 <= s2 +. 1e-6 && disjoint rest
+      | [ _ ] | [] -> true
+    in
+    Alcotest.(check bool) "PE order kept" true (disjoint stretched_windows)
+  done
+
+let test_known_slack_fully_reclaimed () =
+  (* One task, deadline twice its execution time: stretch factor 2 and a
+     4x dynamic energy reduction. *)
+  let b = Builder.create ~n_pes:2 in
+  ignore (Builder.add_uniform_task b ~time:100. ~energy:40. ~deadline:200. ());
+  let ctg = Builder.build_exn b in
+  let p2 = Noc_noc.Platform.homogeneous_mesh ~cols:2 ~rows:1 in
+  let schedule = (Noc_eas.Eas.schedule p2 ctg).Noc_eas.Eas.schedule in
+  let report = Dvs.plan ctg schedule in
+  (match report.Dvs.stretches with
+  | [ s ] ->
+    Alcotest.(check (float 1e-9)) "factor 2" 2. s.Dvs.factor;
+    Alcotest.(check (float 1e-9)) "quarter energy" 10. s.Dvs.energy_after
+  | _ -> Alcotest.fail "one task expected");
+  Alcotest.(check (float 1e-9)) "75% saving" 0.75 (Dvs.saving report)
+
+let test_no_slack_no_stretch () =
+  (* Deadline equal to the execution time: no room, factor 1. *)
+  let b = Builder.create ~n_pes:2 in
+  ignore (Builder.add_uniform_task b ~time:100. ~energy:40. ~deadline:100. ());
+  let ctg = Builder.build_exn b in
+  let p2 = Noc_noc.Platform.homogeneous_mesh ~cols:2 ~rows:1 in
+  let schedule = (Noc_eas.Eas.schedule p2 ctg).Noc_eas.Eas.schedule in
+  let report = Dvs.plan ctg schedule in
+  List.iter
+    (fun (s : Dvs.stretch) -> Alcotest.(check (float 0.)) "no stretch" 1. s.Dvs.factor)
+    report.Dvs.stretches
+
+let test_max_stretch_validated () =
+  let ctg, schedule = random_case 3 in
+  Alcotest.(check bool) "max_stretch < 1 rejected" true
+    (try
+       ignore (Dvs.plan ~max_stretch:0.5 ctg schedule);
+       false
+     with Invalid_argument _ -> true)
+
+let test_saves_on_msb () =
+  let platform = Noc_msb.Platforms.av_3x3 in
+  let ctg =
+    Noc_msb.Graphs.integrated ~platform ~clip:Noc_msb.Profile.Foreman ()
+  in
+  let schedule = (Noc_eas.Eas.schedule platform ctg).Noc_eas.Eas.schedule in
+  let report = Dvs.plan ctg schedule in
+  Alcotest.(check bool) "positive saving on slack-rich MSB" true (Dvs.saving report > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "factors in range" `Quick test_factors_in_range;
+    Alcotest.test_case "never increases energy" `Quick test_never_increases_energy;
+    Alcotest.test_case "respects constraints" `Quick test_respects_constraints;
+    Alcotest.test_case "known slack fully reclaimed" `Quick test_known_slack_fully_reclaimed;
+    Alcotest.test_case "no slack, no stretch" `Quick test_no_slack_no_stretch;
+    Alcotest.test_case "max_stretch validated" `Quick test_max_stretch_validated;
+    Alcotest.test_case "saves on MSB" `Slow test_saves_on_msb;
+  ]

@@ -1,0 +1,79 @@
+(* Tests for Noc_noc.Energy_model (Eqs. 1-2) and Noc_noc.Pe. *)
+
+module Energy_model = Noc_noc.Energy_model
+module Pe = Noc_noc.Pe
+
+let model = Energy_model.make ~e_sbit:2. ~e_lbit:3.
+
+let test_eq2 () =
+  (* E_bit = n_hops * E_Sbit + (n_hops - 1) * E_Lbit. *)
+  Alcotest.(check (float 1e-12)) "same tile" 0. (Energy_model.bit_energy model ~n_hops:0);
+  Alcotest.(check (float 1e-12)) "one router" 2. (Energy_model.bit_energy model ~n_hops:1);
+  Alcotest.(check (float 1e-12)) "two routers one link" 7.
+    (Energy_model.bit_energy model ~n_hops:2);
+  Alcotest.(check (float 1e-12)) "three routers two links" 12.
+    (Energy_model.bit_energy model ~n_hops:3)
+
+let test_monotone_in_hops () =
+  let rec check prev h =
+    if h <= 8 then begin
+      let e = Energy_model.bit_energy model ~n_hops:h in
+      Alcotest.(check bool) "monotone" true (e > prev);
+      check e (h + 1)
+    end
+  in
+  check (-1.) 0
+
+let test_transfer_energy () =
+  Alcotest.(check (float 1e-9)) "bits scale" 7_000.
+    (Energy_model.transfer_energy model ~n_hops:2 ~bits:1_000.);
+  Alcotest.(check (float 0.)) "zero bits" 0.
+    (Energy_model.transfer_energy model ~n_hops:5 ~bits:0.)
+
+let test_default_values () =
+  let d = Energy_model.default in
+  Alcotest.(check bool) "positive" true
+    (d.Energy_model.e_sbit > 0. && d.Energy_model.e_lbit > 0.)
+
+let test_validation () =
+  Alcotest.(check bool) "negative rejected" true
+    (try
+       ignore (Energy_model.make ~e_sbit:(-1.) ~e_lbit:0.);
+       false
+     with Invalid_argument _ -> true)
+
+let test_pe_factors () =
+  Array.iter
+    (fun kind ->
+      let tf, pf = Pe.default_factors kind in
+      Alcotest.(check bool) "positive factors" true (tf > 0. && pf > 0.))
+    Pe.all_kinds;
+  (* The fast RISC is faster but hungrier than the low-power core. *)
+  let fast_t, fast_p = Pe.default_factors Pe.Risc_fast in
+  let low_t, low_p = Pe.default_factors Pe.Risc_lowpower in
+  Alcotest.(check bool) "fast is faster" true (fast_t < low_t);
+  Alcotest.(check bool) "fast is hungrier" true (fast_p > low_p);
+  (* Energy per work unit (t * p) favours the low-power core. *)
+  Alcotest.(check bool) "low-power is more efficient" true
+    (low_t *. low_p < fast_t *. fast_p)
+
+let test_pe_construction () =
+  let pe = Pe.of_kind ~index:3 Pe.Dsp in
+  Alcotest.(check int) "index" 3 pe.Pe.index;
+  Alcotest.(check string) "kind name" "dsp" (Pe.kind_name pe.Pe.kind);
+  Alcotest.(check bool) "make rejects bad factors" true
+    (try
+       ignore (Pe.make ~index:0 ~kind:Pe.Dsp ~time_factor:0. ~power_factor:1.);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "Eq. 2 values" `Quick test_eq2;
+    Alcotest.test_case "monotone in hops" `Quick test_monotone_in_hops;
+    Alcotest.test_case "transfer energy" `Quick test_transfer_energy;
+    Alcotest.test_case "default values" `Quick test_default_values;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "PE factors" `Quick test_pe_factors;
+    Alcotest.test_case "PE construction" `Quick test_pe_construction;
+  ]

@@ -1,0 +1,127 @@
+(* Tests for the honeycomb topology extension (paper Sec. 7) and its
+   table-based deterministic routing. *)
+
+module Topology = Noc_noc.Topology
+module Routing = Noc_noc.Routing
+module Platform = Noc_noc.Platform
+
+let hc = Topology.honeycomb ~cols:4 ~rows:4
+
+let test_degree_at_most_three () =
+  for i = 0 to Topology.n_nodes hc - 1 do
+    let deg = List.length (Topology.neighbours hc i) in
+    Alcotest.(check bool) "degree <= 3" true (deg >= 1 && deg <= 3)
+  done
+
+let test_brick_wall_pattern () =
+  (* Vertical link between (x, y) and (x, y+1) exactly when x+y even. *)
+  Alcotest.(check bool) "(0,0)-(0,1) linked" true
+    (Topology.are_neighbours hc (Topology.index hc ~x:0 ~y:0) (Topology.index hc ~x:0 ~y:1));
+  Alcotest.(check bool) "(1,0)-(1,1) not linked" false
+    (Topology.are_neighbours hc (Topology.index hc ~x:1 ~y:0) (Topology.index hc ~x:1 ~y:1));
+  Alcotest.(check bool) "(1,1)-(1,2) linked" true
+    (Topology.are_neighbours hc (Topology.index hc ~x:1 ~y:1) (Topology.index hc ~x:1 ~y:2));
+  Alcotest.(check bool) "rows fully linked" true
+    (Topology.are_neighbours hc 0 1 && Topology.are_neighbours hc 1 2)
+
+let test_connected () =
+  let dist = Topology.bfs_distances hc 0 in
+  Array.iteri
+    (fun i d -> Alcotest.(check bool) (Printf.sprintf "node %d reachable" i) true (d >= 0))
+    dist
+
+let test_distance_longer_than_mesh () =
+  (* Fewer links than the mesh means some pairs are farther apart. *)
+  let mesh = Topology.mesh ~cols:4 ~rows:4 in
+  let total topo =
+    let acc = ref 0 in
+    for i = 0 to 15 do
+      for j = 0 to 15 do
+        acc := !acc + Topology.distance topo i j
+      done
+    done;
+    !acc
+  in
+  Alcotest.(check bool) "honeycomb paths are longer on average" true
+    (total hc > total mesh)
+
+let test_no_xy_geometry () =
+  let expect_invalid f =
+    Alcotest.(check bool) "Invalid_argument" true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  expect_invalid (fun () -> Topology.deltas hc 0 5);
+  expect_invalid (fun () -> Topology.step hc 0 ~dx:1 ~dy:0)
+
+let test_routes_valid () =
+  for src = 0 to 15 do
+    for dst = 0 to 15 do
+      let route = Routing.route hc ~src ~dst in
+      Alcotest.(check int) "starts at src" src (List.hd route);
+      Alcotest.(check int) "ends at dst" dst (List.nth route (List.length route - 1));
+      Alcotest.(check int) "minimal" (Topology.distance hc src dst + 1) (List.length route);
+      let rec contiguous = function
+        | a :: (b :: _ as rest) -> Topology.are_neighbours hc a b && contiguous rest
+        | [ _ ] | [] -> true
+      in
+      Alcotest.(check bool) "contiguous" true (contiguous route)
+    done
+  done
+
+let test_routes_deterministic () =
+  Alcotest.(check (list int)) "repeatable" (Routing.route hc ~src:3 ~dst:12)
+    (Routing.route hc ~src:3 ~dst:12)
+
+let test_all_links_degree_sum () =
+  let n_links = List.length (Routing.all_links hc) in
+  let degree_sum =
+    List.fold_left
+      (fun acc i -> acc + List.length (Topology.neighbours hc i))
+      0
+      (List.init (Topology.n_nodes hc) Fun.id)
+  in
+  Alcotest.(check int) "one directed link per adjacency" degree_sum n_links
+
+let test_platform_and_scheduling () =
+  (* EAS must produce a feasible schedule on a honeycomb platform. *)
+  let platform = Platform.heterogeneous ~seed:42 hc () in
+  let params = { Noc_tgff.Params.default with n_tasks = 40 } in
+  let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed:0 in
+  let s = (Noc_eas.Eas.schedule platform ctg).Noc_eas.Eas.schedule in
+  Alcotest.(check (list string)) "feasible on honeycomb" []
+    (List.map
+       (Format.asprintf "%a" Noc_sched.Validate.pp_violation)
+       (Noc_sched.Validate.check platform ctg s))
+
+let test_replay_on_honeycomb () =
+  let platform = Platform.heterogeneous ~seed:42 hc () in
+  let params = { Noc_tgff.Params.default with n_tasks = 40 } in
+  let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed:1 in
+  let planned = (Noc_eas.Eas.schedule platform ctg).Noc_eas.Eas.schedule in
+  let outcome = Noc_sim.Executor.run platform ctg planned in
+  Alcotest.(check (float 1e-6)) "replays exactly" 0. outcome.Noc_sim.Executor.waiting_time
+
+let test_invalid_honeycomb () =
+  Alcotest.(check bool) "1xN rejected" true
+    (try
+       ignore (Topology.honeycomb ~cols:1 ~rows:3);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "degree at most 3" `Quick test_degree_at_most_three;
+    Alcotest.test_case "brick-wall pattern" `Quick test_brick_wall_pattern;
+    Alcotest.test_case "connected" `Quick test_connected;
+    Alcotest.test_case "longer than mesh" `Quick test_distance_longer_than_mesh;
+    Alcotest.test_case "no XY geometry" `Quick test_no_xy_geometry;
+    Alcotest.test_case "routes valid and minimal" `Quick test_routes_valid;
+    Alcotest.test_case "routes deterministic" `Quick test_routes_deterministic;
+    Alcotest.test_case "all links" `Quick test_all_links_degree_sum;
+    Alcotest.test_case "EAS schedules on honeycomb" `Slow test_platform_and_scheduling;
+    Alcotest.test_case "exact replay on honeycomb" `Slow test_replay_on_honeycomb;
+    Alcotest.test_case "invalid honeycomb rejected" `Quick test_invalid_honeycomb;
+  ]

@@ -1,0 +1,217 @@
+(* Tests for the serialisation modules (Ctg_io, Schedule_io) and the
+   utilization reporter. *)
+
+module Ctg = Noc_ctg.Ctg
+module Ctg_io = Noc_ctg.Ctg_io
+module Schedule_io = Noc_sched.Schedule_io
+module Schedule = Noc_sched.Schedule
+module Utilization = Noc_sched.Utilization
+
+let platform = Noc_tgff.Category.platform
+
+let random_ctg ?(n_tasks = 30) seed =
+  let params = { Noc_tgff.Params.default with n_tasks } in
+  Noc_tgff.Generate.generate ~params ~platform ~seed
+
+let graphs_equal a b =
+  Ctg.n_tasks a = Ctg.n_tasks b
+  && Ctg.n_edges a = Ctg.n_edges b
+  && Array.for_all2
+       (fun (x : Noc_ctg.Task.t) (y : Noc_ctg.Task.t) ->
+         x.id = y.id && x.name = y.name && x.exec_times = y.exec_times
+         && x.energies = y.energies && x.deadline = y.deadline)
+       (Ctg.tasks a) (Ctg.tasks b)
+  && Array.for_all2
+       (fun (x : Noc_ctg.Edge.t) (y : Noc_ctg.Edge.t) ->
+         x.id = y.id && x.src = y.src && x.dst = y.dst && x.volume = y.volume)
+       (Ctg.edges a) (Ctg.edges b)
+
+let test_ctg_roundtrip () =
+  let g = random_ctg 0 in
+  match Ctg_io.of_string (Ctg_io.to_string g) with
+  | Error msg -> Alcotest.fail msg
+  | Ok g' -> Alcotest.(check bool) "exact roundtrip" true (graphs_equal g g')
+
+let qcheck_ctg_roundtrip =
+  QCheck.Test.make ~name:"ctg text roundtrip is exact" ~count:30
+    QCheck.(int_range 0 5000)
+    (fun seed ->
+      let g = random_ctg ~n_tasks:20 seed in
+      match Ctg_io.of_string (Ctg_io.to_string g) with
+      | Error _ -> false
+      | Ok g' -> graphs_equal g g')
+
+let test_ctg_file_roundtrip () =
+  let g = random_ctg 7 in
+  let path = Filename.temp_file "nocsched" ".ctg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Ctg_io.save ~path g;
+      match Ctg_io.load ~path with
+      | Error msg -> Alcotest.fail msg
+      | Ok g' -> Alcotest.(check bool) "file roundtrip" true (graphs_equal g g'))
+
+let test_ctg_parse_tolerates_noise () =
+  let text =
+    "# a comment\n\nctg 1\n  pes 2\ntask 0 name a\n  times 1 2\n\
+     \  energies 3 4   # trailing comment\ntask 1 name b deadline 10\n\
+     \  times 1 1\n  energies 1 1\nedge 0 from 0 to 1 volume 5\n"
+  in
+  match Ctg_io.of_string text with
+  | Error msg -> Alcotest.fail msg
+  | Ok g ->
+    Alcotest.(check int) "two tasks" 2 (Ctg.n_tasks g);
+    Alcotest.(check (option (float 0.))) "deadline kept" (Some 10.)
+      (Ctg.task g 1).Noc_ctg.Task.deadline
+
+let expect_parse_error text fragment =
+  match Ctg_io.of_string text with
+  | Ok _ -> Alcotest.fail ("parse unexpectedly succeeded; wanted " ^ fragment)
+  | Error msg ->
+    let contains =
+      let nh = String.length msg and nn = String.length fragment in
+      let rec scan i = i + nn <= nh && (String.sub msg i nn = fragment || scan (i + 1)) in
+      scan 0
+    in
+    Alcotest.(check bool) (Printf.sprintf "%S mentions %S" msg fragment) true contains
+
+let test_ctg_parse_errors () =
+  expect_parse_error "pes 2\n" "ctg 1";
+  expect_parse_error "ctg 2\n" "version";
+  expect_parse_error "ctg 1\ntask 0 name a\n times 1\n energies 1\n" "pes";
+  expect_parse_error "ctg 1\npes 2\ntask 5 name a\n" "dense";
+  expect_parse_error "ctg 1\npes 2\ntask 0 name a\n  times 1 2\n" "energies";
+  expect_parse_error
+    "ctg 1\npes 2\ntask 0 name a\n  times 1\n  energies 1\n" "expected 2";
+  expect_parse_error
+    "ctg 1\npes 1\ntask 0 name a\n  times 1\n  energies 1\nedge 0 from 0 to 9 volume 1\n"
+    "missing task";
+  expect_parse_error "ctg 1\npes 1\nbogus line\n" "unknown keyword";
+  expect_parse_error
+    "ctg 1\npes 1\ntask 0 name a\n  times x\n  energies 1\n" "not a number"
+
+let test_ctg_msb_roundtrip () =
+  (* Real-ish content with names and control edges. *)
+  let g =
+    Noc_msb.Graphs.encoder ~platform:Noc_msb.Platforms.av_2x2
+      ~clip:Noc_msb.Profile.Toybox ()
+  in
+  match Ctg_io.of_string (Ctg_io.to_string g) with
+  | Error msg -> Alcotest.fail msg
+  | Ok g' -> Alcotest.(check bool) "encoder roundtrip" true (graphs_equal g g')
+
+(* ------------------------------------------------------------------ *)
+(* Schedule_io *)
+
+let schedules_equal a b =
+  Schedule.placements a = Schedule.placements b
+  && Schedule.transactions a = Schedule.transactions b
+
+let test_schedule_roundtrip () =
+  let g = random_ctg 3 in
+  let s = (Noc_eas.Eas.schedule platform g).Noc_eas.Eas.schedule in
+  match Schedule_io.of_string platform g (Schedule_io.to_string s) with
+  | Error msg -> Alcotest.fail msg
+  | Ok s' ->
+    Alcotest.(check bool) "exact roundtrip" true (schedules_equal s s');
+    Alcotest.(check bool) "still feasible" true
+      (Noc_sched.Validate.is_feasible platform g s')
+
+let test_schedule_file_roundtrip () =
+  let g = random_ctg 4 in
+  let s = (Noc_edf.Edf.schedule platform g).Noc_edf.Edf.schedule in
+  let path = Filename.temp_file "nocsched" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Schedule_io.save ~path s;
+      match Schedule_io.load ~path platform g with
+      | Error msg -> Alcotest.fail msg
+      | Ok s' -> Alcotest.(check bool) "file roundtrip" true (schedules_equal s s'))
+
+let test_schedule_parse_errors () =
+  let g = random_ctg 5 in
+  let s = (Noc_eas.Eas.schedule platform g).Noc_eas.Eas.schedule in
+  let text = Schedule_io.to_string s in
+  let check_error mangled fragment =
+    match Schedule_io.of_string platform g mangled with
+    | Ok _ -> Alcotest.fail "expected parse error"
+    | Error msg ->
+      let contains =
+        let nh = String.length msg and nn = String.length fragment in
+        let rec scan i = i + nn <= nh && (String.sub msg i nn = fragment || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) (msg ^ " mentions " ^ fragment) true contains
+  in
+  check_error (String.concat "\n" (List.tl (String.split_on_char '\n' text))) "header";
+  check_error "schedule 1\nplace 0 pe 0 start 0 finish 1\n" "missing";
+  check_error (text ^ "garbage\n") "unknown keyword"
+
+(* ------------------------------------------------------------------ *)
+(* Utilization *)
+
+let test_utilization () =
+  let g = random_ctg 6 in
+  let s = (Noc_eas.Eas.schedule platform g).Noc_eas.Eas.schedule in
+  let u = Utilization.compute platform s in
+  Alcotest.(check (float 1e-9)) "horizon is makespan" (Schedule.makespan s)
+    u.Utilization.horizon;
+  (* Busy time accounting: the sum over PEs equals the sum of exec
+     durations of all tasks. *)
+  let total_pe_busy =
+    Array.fold_left
+      (fun acc (l : Utilization.pe_load) -> acc +. l.Utilization.busy_time)
+      0. u.Utilization.pe_loads
+  in
+  let total_exec =
+    Array.fold_left
+      (fun acc (p : Schedule.placement) -> acc +. (p.finish -. p.start))
+      0. (Schedule.placements s)
+  in
+  Alcotest.(check (float 1e-6)) "busy time conserved" total_exec total_pe_busy;
+  let task_count =
+    Array.fold_left
+      (fun acc (l : Utilization.pe_load) -> acc + l.Utilization.n_tasks)
+      0 u.Utilization.pe_loads
+  in
+  Alcotest.(check int) "task count conserved" (Noc_ctg.Ctg.n_tasks g) task_count;
+  Array.iter
+    (fun (l : Utilization.pe_load) ->
+      Alcotest.(check bool) "utilisation in [0,1]" true
+        (l.Utilization.utilisation >= 0. && l.Utilization.utilisation <= 1. +. 1e-9))
+    u.Utilization.pe_loads;
+  let busiest = Utilization.busiest_pe u in
+  Array.iter
+    (fun (l : Utilization.pe_load) ->
+      Alcotest.(check bool) "busiest is max" true
+        (l.Utilization.busy_time <= busiest.Utilization.busy_time))
+    u.Utilization.pe_loads
+
+let test_utilization_links () =
+  let g = random_ctg 8 in
+  let s = (Noc_edf.Edf.schedule platform g).Noc_edf.Edf.schedule in
+  let u = Utilization.compute platform s in
+  (match Utilization.busiest_link u with
+  | None -> Alcotest.fail "EDF on a random graph must use some link"
+  | Some l ->
+    Alcotest.(check bool) "busiest link has traffic" true
+      (l.Utilization.busy_time > 0. && l.Utilization.n_transactions > 0));
+  Alcotest.(check bool) "report prints" true
+    (String.length (Format.asprintf "%a" Utilization.pp u) > 0)
+
+let suite =
+  [
+    Alcotest.test_case "ctg roundtrip" `Quick test_ctg_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_ctg_roundtrip;
+    Alcotest.test_case "ctg file roundtrip" `Quick test_ctg_file_roundtrip;
+    Alcotest.test_case "ctg parse tolerates noise" `Quick test_ctg_parse_tolerates_noise;
+    Alcotest.test_case "ctg parse errors" `Quick test_ctg_parse_errors;
+    Alcotest.test_case "msb encoder roundtrip" `Quick test_ctg_msb_roundtrip;
+    Alcotest.test_case "schedule roundtrip" `Quick test_schedule_roundtrip;
+    Alcotest.test_case "schedule file roundtrip" `Quick test_schedule_file_roundtrip;
+    Alcotest.test_case "schedule parse errors" `Quick test_schedule_parse_errors;
+    Alcotest.test_case "utilization accounting" `Quick test_utilization;
+    Alcotest.test_case "utilization links" `Quick test_utilization_links;
+  ]

@@ -1,0 +1,144 @@
+(* Direct tests of EAS Step 2's decision rules (Level_sched). *)
+
+module Level_sched = Noc_eas.Level_sched
+module Budget = Noc_eas.Budget
+module Schedule = Noc_sched.Schedule
+module Builder = Noc_ctg.Builder
+module Platform = Noc_noc.Platform
+
+(* Two-PE platform, PE 0 cheap/slow-ish, PE 1 expensive; identical
+   speeds so only energy differs unless stated. *)
+let platform2 =
+  Platform.make
+    ~topology:(Noc_noc.Topology.mesh ~cols:2 ~rows:1)
+    ~pes:
+      [|
+        Noc_noc.Pe.make ~index:0 ~kind:Noc_noc.Pe.Risc_lowpower ~time_factor:1.
+          ~power_factor:1.;
+        Noc_noc.Pe.make ~index:1 ~kind:Noc_noc.Pe.Risc_fast ~time_factor:1.
+          ~power_factor:1.;
+      |]
+    ~link_bandwidth:1_000. ()
+
+let schedule_of ctg = Level_sched.run platform2 ctg (Budget.compute ctg)
+
+let test_rule4_regret_priority () =
+  (* Independent tasks, both cheapest on PE 0. A's regret (E2 - E1) is
+     90, B's is 1: A must be committed first and so run first on the
+     shared cheapest PE. *)
+  let b = Builder.create ~n_pes:2 in
+  let a = Builder.add_task b ~exec_times:[| 10.; 10. |] ~energies:[| 10.; 100. |] () in
+  let c = Builder.add_task b ~exec_times:[| 10.; 10. |] ~energies:[| 10.; 11. |] () in
+  let ctg = Builder.build_exn b in
+  let s = schedule_of ctg in
+  let pa = Schedule.placement s a and pc = Schedule.placement s c in
+  Alcotest.(check int) "high-regret task gets the cheap PE" 0 pa.Schedule.pe;
+  Alcotest.(check bool) "and is scheduled first" true
+    (pa.Schedule.start <= pc.Schedule.start || pc.Schedule.pe <> 0)
+
+let test_rule4_picks_cheapest_allowed () =
+  (* Single task, no deadline: must go to its cheapest PE. *)
+  let b = Builder.create ~n_pes:2 in
+  let t = Builder.add_task b ~exec_times:[| 10.; 10. |] ~energies:[| 50.; 5. |] () in
+  let ctg = Builder.build_exn b in
+  let s = schedule_of ctg in
+  Alcotest.(check int) "cheapest PE" 1 (Schedule.placement s t).Schedule.pe
+
+let test_rule3_violator_gets_fastest_pe () =
+  (* The deadline is achievable only on PE 1 (time 10 vs 100), but PE 1
+     is expensive; rule 3 must override energy. Also a second loose task
+     must not steal priority from the violator. *)
+  let b = Builder.create ~n_pes:2 in
+  let urgent =
+    Builder.add_task b ~exec_times:[| 100.; 10. |] ~energies:[| 1.; 99. |]
+      ~deadline:20. ()
+  in
+  let relaxed =
+    Builder.add_task b ~exec_times:[| 10.; 10. |] ~energies:[| 1.; 2. |]
+      ~deadline:10_000. ()
+  in
+  let ctg = Builder.build_exn b in
+  let s = schedule_of ctg in
+  Alcotest.(check int) "urgent on the fast PE" 1 (Schedule.placement s urgent).Schedule.pe;
+  Alcotest.(check bool) "deadline met" true
+    ((Schedule.placement s urgent).Schedule.finish <= 20.);
+  Alcotest.(check bool) "relaxed task still scheduled" true
+    ((Schedule.placement s relaxed).Schedule.finish > 0.)
+
+let test_drt_exact () =
+  (* Receiver on a third PE with two senders; its start must equal the
+     latest arrival, which is determined by volume / bandwidth. *)
+  let platform3 =
+    Platform.make
+      ~topology:(Noc_noc.Topology.mesh ~cols:3 ~rows:1)
+      ~pes:(Array.init 3 (fun index -> Noc_noc.Pe.of_kind ~index Noc_noc.Pe.Dsp))
+      ~link_bandwidth:100. ()
+  in
+  let b = Builder.create ~n_pes:3 in
+  (* Pin senders by making each wildly cheapest on its own PE. *)
+  let s1 = Builder.add_task b ~exec_times:[| 10.; 10.; 10. |] ~energies:[| 1.; 999.; 999. |] () in
+  let s2 = Builder.add_task b ~exec_times:[| 20.; 20.; 20. |] ~energies:[| 999.; 999.; 1. |] () in
+  let recv = Builder.add_task b ~exec_times:[| 999.; 5.; 999. |] ~energies:[| 999.; 1.; 999. |] () in
+  Builder.connect b ~src:s1 ~dst:recv ~volume:500.;  (* arrives 10 + 5 = 15 *)
+  Builder.connect b ~src:s2 ~dst:recv ~volume:800.;  (* arrives 20 + 8 = 28 *)
+  let ctg = Builder.build_exn b in
+  let s = Level_sched.run platform3 ctg (Budget.compute ctg) in
+  Alcotest.(check int) "s1 on pe 0" 0 (Schedule.placement s s1).Schedule.pe;
+  Alcotest.(check int) "s2 on pe 2" 2 (Schedule.placement s s2).Schedule.pe;
+  Alcotest.(check int) "receiver on pe 1" 1 (Schedule.placement s recv).Schedule.pe;
+  Alcotest.(check (float 1e-9)) "starts exactly at the DRT" 28.
+    (Schedule.placement s recv).Schedule.start
+
+let test_gap_filling () =
+  (* PE schedule tables are gap-filled: a short late-committed task slides
+     into an earlier hole rather than appending at the end. Chain a -> b
+     leaves PE 0 idle during the transaction + b window; independent
+     task c (committed last, low regret) must start inside the idle gap. *)
+  let platform3 =
+    Platform.make
+      ~topology:(Noc_noc.Topology.mesh ~cols:2 ~rows:1)
+      ~pes:(Array.init 2 (fun index -> Noc_noc.Pe.of_kind ~index Noc_noc.Pe.Dsp))
+      ~link_bandwidth:10. ()
+  in
+  let b = Builder.create ~n_pes:2 in
+  let a = Builder.add_task b ~exec_times:[| 10.; 10. |] ~energies:[| 1.; 999. |] () in
+  let b2 = Builder.add_task b ~exec_times:[| 10.; 10. |] ~energies:[| 999.; 1. |] () in
+  (* Huge volume: transaction lasts 100, so pe0 idles [10, ...]. *)
+  Builder.connect b ~src:a ~dst:b2 ~volume:1_000.;
+  let c = Builder.add_task b ~exec_times:[| 5.; 5. |] ~energies:[| 1.; 999. |] () in
+  let ctg = Builder.build_exn b in
+  let s = Level_sched.run platform3 ctg (Budget.compute ctg) in
+  Alcotest.(check int) "c shares pe 0" 0 (Schedule.placement s c).Schedule.pe;
+  Alcotest.(check bool) "c runs inside the idle window" true
+    ((Schedule.placement s c).Schedule.start < 100.)
+
+let test_zero_edge_graph () =
+  (* A graph with no arcs at all still schedules. *)
+  let b = Builder.create ~n_pes:2 in
+  for _ = 1 to 5 do
+    ignore (Builder.add_uniform_task b ~time:10. ~energy:1. ())
+  done;
+  let ctg = Builder.build_exn b in
+  let s = schedule_of ctg in
+  Alcotest.(check bool) "all placed" true
+    (Array.for_all
+       (fun (p : Schedule.placement) -> p.finish > p.start)
+       (Schedule.placements s))
+
+let test_single_task () =
+  let b = Builder.create ~n_pes:2 in
+  ignore (Builder.add_uniform_task b ~time:10. ~energy:1. ());
+  let s = schedule_of (Builder.build_exn b) in
+  Alcotest.(check (float 0.)) "starts at zero" 0. (Schedule.placement s 0).Schedule.start
+
+let suite =
+  [
+    Alcotest.test_case "rule 4: regret priority" `Quick test_rule4_regret_priority;
+    Alcotest.test_case "rule 4: cheapest allowed PE" `Quick test_rule4_picks_cheapest_allowed;
+    Alcotest.test_case "rule 3: violator to fastest PE" `Quick
+      test_rule3_violator_gets_fastest_pe;
+    Alcotest.test_case "DRT exact" `Quick test_drt_exact;
+    Alcotest.test_case "gap filling" `Quick test_gap_filling;
+    Alcotest.test_case "edge-free graph" `Quick test_zero_edge_graph;
+    Alcotest.test_case "single task" `Quick test_single_task;
+  ]

@@ -1,0 +1,136 @@
+(* Tests for Noc_sched.Metrics: Eq. (3) energy accounting. *)
+
+module Schedule = Noc_sched.Schedule
+module Metrics = Noc_sched.Metrics
+module Platform = Noc_noc.Platform
+
+(* 2x2 mesh, E_Sbit = 1, E_Lbit = 2, bandwidth 100. *)
+let platform =
+  Platform.make
+    ~topology:(Noc_noc.Topology.mesh ~cols:2 ~rows:2)
+    ~pes:(Array.init 4 (fun index -> Noc_noc.Pe.of_kind ~index Noc_noc.Pe.Dsp))
+    ~energy:(Noc_noc.Energy_model.make ~e_sbit:1. ~e_lbit:2.)
+    ~link_bandwidth:100. ()
+
+(* Task 0 (energy 5/7/9/11 across PEs) feeds task 1 (energy 2/4/6/8)
+   through 100 bits; task 1 has deadline 50. *)
+let ctg =
+  let b = Noc_ctg.Builder.create ~n_pes:4 in
+  let t0 =
+    Noc_ctg.Builder.add_task b ~exec_times:[| 10.; 10.; 10.; 10. |]
+      ~energies:[| 5.; 7.; 9.; 11. |] ()
+  in
+  let t1 =
+    Noc_ctg.Builder.add_task b ~exec_times:[| 10.; 10.; 10.; 10. |]
+      ~energies:[| 2.; 4.; 6.; 8. |] ~deadline:50. ()
+  in
+  Noc_ctg.Builder.connect b ~src:t0 ~dst:t1 ~volume:100.;
+  Noc_ctg.Builder.build_exn b
+
+let schedule ~pe0 ~pe1 ~t1_start =
+  let same = pe0 = pe1 in
+  let tr_start = 10. in
+  let tr_finish = if same then 10. else 11. in
+  Schedule.make
+    ~placements:
+      [|
+        { Schedule.task = 0; pe = pe0; start = 0.; finish = 10. };
+        { Schedule.task = 1; pe = pe1; start = t1_start; finish = t1_start +. 10. };
+      |]
+    ~transactions:
+      [|
+        {
+          Schedule.edge = 0;
+          src_pe = pe0;
+          dst_pe = pe1;
+          route = Platform.route platform ~src:pe0 ~dst:pe1;
+          start = tr_start;
+          finish = tr_finish;
+        };
+      |]
+
+let test_energy_same_tile () =
+  let m = Metrics.compute platform ctg (schedule ~pe0:0 ~pe1:0 ~t1_start:10.) in
+  Alcotest.(check (float 1e-9)) "computation" 7. m.computation_energy;
+  Alcotest.(check (float 1e-9)) "no communication" 0. m.communication_energy;
+  Alcotest.(check (float 1e-9)) "total" 7. m.total_energy;
+  Alcotest.(check (float 1e-9)) "avg hops zero" 0. m.average_hops
+
+let test_energy_adjacent_tiles () =
+  (* PE 0 -> PE 1: 2 routers, 1 link -> per bit 2*1 + 1*2 = 4; 100 bits ->
+     400. Computation: 5 (t0 on pe0) + 4 (t1 on pe1). *)
+  let m = Metrics.compute platform ctg (schedule ~pe0:0 ~pe1:1 ~t1_start:11.) in
+  Alcotest.(check (float 1e-9)) "computation" 9. m.computation_energy;
+  Alcotest.(check (float 1e-9)) "communication" 400. m.communication_energy;
+  Alcotest.(check (float 1e-9)) "total is Eq. 3" 409. m.total_energy;
+  Alcotest.(check (float 1e-9)) "avg hops" 2. m.average_hops
+
+let test_energy_diagonal () =
+  (* PE 0 -> PE 3: distance 2 -> 3 routers, 2 links -> 3 + 4 = 7/bit. *)
+  let m = Metrics.compute platform ctg (schedule ~pe0:0 ~pe1:3 ~t1_start:11.) in
+  Alcotest.(check (float 1e-9)) "communication" 700. m.communication_energy;
+  Alcotest.(check (float 1e-9)) "avg hops" 3. m.average_hops
+
+let test_makespan_and_misses () =
+  let m = Metrics.compute platform ctg (schedule ~pe0:0 ~pe1:0 ~t1_start:45.) in
+  Alcotest.(check (float 1e-9)) "makespan" 55. m.makespan;
+  Alcotest.(check int) "one miss" 1 (Metrics.miss_count m);
+  (match m.deadline_misses with
+  | [ (task, lateness) ] ->
+    Alcotest.(check int) "task 1" 1 task;
+    Alcotest.(check (float 1e-9)) "lateness" 5. lateness
+  | _ -> Alcotest.fail "expected one miss");
+  let ok = Metrics.compute platform ctg (schedule ~pe0:0 ~pe1:0 ~t1_start:10.) in
+  Alcotest.(check int) "no miss" 0 (Metrics.miss_count ok)
+
+let test_energy_of_assignment_matches_compute () =
+  let s = schedule ~pe0:0 ~pe1:3 ~t1_start:11. in
+  let m = Metrics.compute platform ctg s in
+  let by_assignment =
+    Metrics.energy_of_assignment platform ctg (fun task ->
+        (Schedule.placement s task).Schedule.pe)
+  in
+  Alcotest.(check (float 1e-9)) "Eq. 3 only depends on the assignment"
+    m.total_energy by_assignment
+
+let test_control_edges_excluded_from_hops () =
+  (* A graph whose only arc is control (volume 0): average hops is 0. *)
+  let b = Noc_ctg.Builder.create ~n_pes:4 in
+  let t0 = Noc_ctg.Builder.add_uniform_task b ~time:1. ~energy:1. () in
+  let t1 = Noc_ctg.Builder.add_uniform_task b ~time:1. ~energy:1. () in
+  Noc_ctg.Builder.connect b ~src:t0 ~dst:t1 ~volume:0.;
+  let g = Noc_ctg.Builder.build_exn b in
+  let s =
+    Schedule.make
+      ~placements:
+        [|
+          { Schedule.task = 0; pe = 0; start = 0.; finish = 1. };
+          { Schedule.task = 1; pe = 3; start = 1.; finish = 2. };
+        |]
+      ~transactions:
+        [|
+          {
+            Schedule.edge = 0;
+            src_pe = 0;
+            dst_pe = 3;
+            route = Platform.route platform ~src:0 ~dst:3;
+            start = 1.;
+            finish = 1.;
+          };
+        |]
+  in
+  let m = Metrics.compute platform g s in
+  Alcotest.(check (float 0.)) "no data packets" 0. m.average_hops;
+  Alcotest.(check (float 0.)) "no communication energy" 0. m.communication_energy
+
+let suite =
+  [
+    Alcotest.test_case "energy, same tile" `Quick test_energy_same_tile;
+    Alcotest.test_case "energy, adjacent tiles" `Quick test_energy_adjacent_tiles;
+    Alcotest.test_case "energy, diagonal" `Quick test_energy_diagonal;
+    Alcotest.test_case "makespan and misses" `Quick test_makespan_and_misses;
+    Alcotest.test_case "energy_of_assignment = compute" `Quick
+      test_energy_of_assignment_matches_compute;
+    Alcotest.test_case "control edges excluded from hops" `Quick
+      test_control_edges_excluded_from_hops;
+  ]

@@ -1,0 +1,99 @@
+(* Tests for Noc_noc.Routing: deterministic XY routing. *)
+
+module Topology = Noc_noc.Topology
+module Routing = Noc_noc.Routing
+
+let mesh = Topology.mesh ~cols:4 ~rows:4
+let torus = Topology.torus ~cols:4 ~rows:4
+
+let test_route_same_tile () =
+  Alcotest.(check (list int)) "self route" [ 5 ] (Routing.route mesh ~src:5 ~dst:5);
+  Alcotest.(check int) "no hops" 0 (Routing.hops mesh ~src:5 ~dst:5)
+
+let test_route_xy_order () =
+  (* From (0,0) to (2,1): XY goes x first (0 -> 1 -> 2), then y (-> 6). *)
+  Alcotest.(check (list int)) "x then y" [ 0; 1; 2; 6 ]
+    (Routing.route mesh ~src:0 ~dst:6)
+
+let test_route_negative_directions () =
+  (* From (3,3)=15 to (1,2)=9: x back (15->14->13), then y up (13->9). *)
+  Alcotest.(check (list int)) "negative xy" [ 15; 14; 13; 9 ]
+    (Routing.route mesh ~src:15 ~dst:9)
+
+let test_route_length () =
+  for src = 0 to 15 do
+    for dst = 0 to 15 do
+      let route = Routing.route mesh ~src ~dst in
+      Alcotest.(check int) "length = distance + 1"
+        (Topology.distance mesh src dst + 1)
+        (List.length route)
+    done
+  done
+
+let test_hops_eq2_convention () =
+  (* n_hops counts routers traversed: distance + 1 for distinct tiles. *)
+  Alcotest.(check int) "adjacent tiles: 2 routers" 2 (Routing.hops mesh ~src:0 ~dst:1);
+  Alcotest.(check int) "corner to corner" 7 (Routing.hops mesh ~src:0 ~dst:15)
+
+let test_links_of_route () =
+  let links = Routing.links mesh ~src:0 ~dst:6 in
+  Alcotest.(check int) "three links" 3 (List.length links);
+  Alcotest.(check bool) "first link" true
+    (Routing.link_equal (List.hd links) { Routing.from_node = 0; to_node = 1 })
+
+let test_route_contiguous () =
+  let check_route topo src dst =
+    let route = Routing.route topo ~src ~dst in
+    let rec ok = function
+      | a :: (b :: _ as rest) -> Topology.are_neighbours topo a b && ok rest
+      | [ _ ] | [] -> true
+    in
+    Alcotest.(check bool) "hops between neighbours" true (ok route);
+    Alcotest.(check int) "ends at dst" dst (List.nth route (List.length route - 1));
+    Alcotest.(check int) "starts at src" src (List.hd route)
+  in
+  for src = 0 to 15 do
+    for dst = 0 to 15 do
+      check_route mesh src dst;
+      check_route torus src dst
+    done
+  done
+
+let test_torus_route_wraps () =
+  (* 0=(0,0) to 3=(3,0): shorter to wrap -x, one hop. *)
+  Alcotest.(check (list int)) "wrap route" [ 0; 3 ] (Routing.route torus ~src:0 ~dst:3)
+
+let test_all_links_mesh () =
+  (* 4x4 mesh: 2 * (3*4 + 3*4) = 48 directed links. *)
+  Alcotest.(check int) "48 directed links" 48 (List.length (Routing.all_links mesh))
+
+let test_all_links_torus () =
+  (* 4x4 torus: every tile has 4 neighbours -> 64 directed links. *)
+  Alcotest.(check int) "64 directed links" 64 (List.length (Routing.all_links torus))
+
+let test_route_deterministic () =
+  Alcotest.(check (list int)) "same call same route"
+    (Routing.route mesh ~src:2 ~dst:13)
+    (Routing.route mesh ~src:2 ~dst:13)
+
+let qcheck_route_minimal =
+  QCheck.Test.make ~name:"routes are minimal" ~count:300
+    QCheck.(pair (int_range 0 15) (int_range 0 15))
+    (fun (src, dst) ->
+      List.length (Routing.route torus ~src ~dst) = Topology.distance torus src dst + 1)
+
+let suite =
+  [
+    Alcotest.test_case "route to self" `Quick test_route_same_tile;
+    Alcotest.test_case "XY order" `Quick test_route_xy_order;
+    Alcotest.test_case "negative directions" `Quick test_route_negative_directions;
+    Alcotest.test_case "route length" `Quick test_route_length;
+    Alcotest.test_case "hops convention (Eq. 2)" `Quick test_hops_eq2_convention;
+    Alcotest.test_case "links of route" `Quick test_links_of_route;
+    Alcotest.test_case "routes contiguous" `Quick test_route_contiguous;
+    Alcotest.test_case "torus route wraps" `Quick test_torus_route_wraps;
+    Alcotest.test_case "all links (mesh)" `Quick test_all_links_mesh;
+    Alcotest.test_case "all links (torus)" `Quick test_all_links_torus;
+    Alcotest.test_case "deterministic" `Quick test_route_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_route_minimal;
+  ]

@@ -1,0 +1,72 @@
+(* Tests for Noc_util.Stats. *)
+
+module Stats = Noc_util.Stats
+
+let test_mean () =
+  Alcotest.(check (float 1e-12)) "mean" 2.5 (Stats.mean [| 1.; 2.; 3.; 4. |]);
+  Alcotest.(check (float 1e-12)) "singleton" 7. (Stats.mean [| 7. |])
+
+let test_variance () =
+  (* Population variance of 2, 4, 4, 4, 5, 5, 7, 9 is 4 (classic). *)
+  Alcotest.(check (float 1e-12)) "variance" 4.
+    (Stats.variance [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |]);
+  Alcotest.(check (float 1e-12)) "constant data" 0. (Stats.variance [| 3.; 3.; 3. |])
+
+let test_stddev () =
+  Alcotest.(check (float 1e-12)) "stddev" 2.
+    (Stats.stddev [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let test_min_max () =
+  let arr = [| 3.; -1.; 7.; 0. |] in
+  Alcotest.(check (float 0.)) "min" (-1.) (Stats.min_value arr);
+  Alcotest.(check (float 0.)) "max" 7. (Stats.max_value arr)
+
+let test_argmin () =
+  Alcotest.(check int) "argmin" 1 (Stats.argmin [| 3.; -1.; 7.; 0. |]);
+  Alcotest.(check int) "first on ties" 0 (Stats.argmin [| 2.; 2.; 2. |])
+
+let test_two_smallest () =
+  let best, second = Stats.two_smallest [| 5.; 1.; 3.; 2. |] in
+  Alcotest.(check (float 0.)) "best" 1. best;
+  Alcotest.(check (float 0.)) "second" 2. second
+
+let test_two_smallest_duplicates () =
+  let best, second = Stats.two_smallest [| 4.; 4.; 9. |] in
+  Alcotest.(check (float 0.)) "best" 4. best;
+  Alcotest.(check (float 0.)) "second equals best" 4. second
+
+let test_two_smallest_singleton () =
+  let best, second = Stats.two_smallest [| 6. |] in
+  Alcotest.(check (float 0.)) "best" 6. best;
+  Alcotest.(check (float 0.)) "second = best" 6. second
+
+let test_sum () =
+  Alcotest.(check (float 1e-12)) "sum" 10. (Stats.sum [| 1.; 2.; 3.; 4. |]);
+  Alcotest.(check (float 0.)) "empty" 0. (Stats.sum [||])
+
+let test_fequal () =
+  Alcotest.(check bool) "exact" true (Stats.fequal 1. 1.);
+  Alcotest.(check bool) "within absolute eps" true (Stats.fequal ~eps:1e-6 0. 1e-9);
+  Alcotest.(check bool) "within relative eps" true
+    (Stats.fequal ~eps:1e-6 1e12 (1e12 +. 1.));
+  Alcotest.(check bool) "different" false (Stats.fequal 1. 2.)
+
+let qcheck_variance_nonneg =
+  QCheck.Test.make ~name:"variance is non-negative" ~count:300
+    QCheck.(list_of_size (Gen.int_range 1 20) (float_range (-1000.) 1000.))
+    (fun floats -> Stats.variance (Array.of_list floats) >= 0.)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "min/max" `Quick test_min_max;
+    Alcotest.test_case "argmin" `Quick test_argmin;
+    Alcotest.test_case "two smallest" `Quick test_two_smallest;
+    Alcotest.test_case "two smallest with duplicates" `Quick test_two_smallest_duplicates;
+    Alcotest.test_case "two smallest singleton" `Quick test_two_smallest_singleton;
+    Alcotest.test_case "sum" `Quick test_sum;
+    Alcotest.test_case "fequal" `Quick test_fequal;
+    QCheck_alcotest.to_alcotest qcheck_variance_nonneg;
+  ]

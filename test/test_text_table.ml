@@ -1,0 +1,48 @@
+(* Tests for Noc_util.Text_table. *)
+
+module Text_table = Noc_util.Text_table
+
+let test_basic_render () =
+  let out =
+    Text_table.render ~header:[ "name"; "value" ] [ [ "a"; "1" ]; [ "bb"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "header + rule + rows" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      Alcotest.(check int) "all lines equally wide"
+        (String.length (List.nth lines 0))
+        (String.length line))
+    lines
+
+let test_alignment () =
+  let out = Text_table.render ~header:[ "k"; "v" ] [ [ "x"; "9" ] ] in
+  (* Default: first column left-aligned, second right-aligned. *)
+  Alcotest.(check bool) "left pad on numeric column" true
+    (String.length out > 0);
+  let lines = String.split_on_char '\n' out in
+  let row = List.nth lines 2 in
+  Alcotest.(check string) "row rendering" "| x | 9 |" row
+
+let test_short_rows_padded () =
+  let out = Text_table.render ~header:[ "a"; "b"; "c" ] [ [ "only" ] ] in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check int) "renders" 3 (List.length lines)
+
+let test_float_cell () =
+  Alcotest.(check string) "default decimals" "3.1" (Text_table.float_cell 3.14159);
+  Alcotest.(check string) "custom decimals" "3.142"
+    (Text_table.float_cell ~decimals:3 3.14159)
+
+let test_percent_cell () =
+  Alcotest.(check string) "percent" "44.3%" (Text_table.percent_cell 0.443);
+  Alcotest.(check string) "decimals" "44%" (Text_table.percent_cell ~decimals:0 0.443)
+
+let suite =
+  [
+    Alcotest.test_case "basic render" `Quick test_basic_render;
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "short rows padded" `Quick test_short_rows_padded;
+    Alcotest.test_case "float cell" `Quick test_float_cell;
+    Alcotest.test_case "percent cell" `Quick test_percent_cell;
+  ]

@@ -1,0 +1,153 @@
+(* Tests for the TGFF-like random graph generator. *)
+
+module Params = Noc_tgff.Params
+module Generate = Noc_tgff.Generate
+module Category = Noc_tgff.Category
+module Ctg = Noc_ctg.Ctg
+
+let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols:4 ~rows:4 ()
+
+let generate ?(params = Params.default) seed = Generate.generate ~params ~platform ~seed
+
+let test_task_count () =
+  let g = generate 0 in
+  Alcotest.(check int) "exact task count" Params.default.Params.n_tasks (Ctg.n_tasks g)
+
+let test_edge_count_regime () =
+  (* extra_in_degree 1.0 -> roughly two arcs per non-source task. *)
+  let g = generate 0 in
+  let n = float_of_int (Ctg.n_tasks g) and e = float_of_int (Ctg.n_edges g) in
+  Alcotest.(check bool) "edges between 1.2x and 2.2x tasks" true
+    (e > 1.2 *. n && e < 2.2 *. n)
+
+let test_determinism () =
+  let a = generate 5 and b = generate 5 in
+  Alcotest.(check int) "same edges" (Ctg.n_edges a) (Ctg.n_edges b);
+  Alcotest.(check bool) "same costs" true
+    (Array.for_all2
+       (fun (x : Noc_ctg.Task.t) (y : Noc_ctg.Task.t) ->
+         x.exec_times = y.exec_times && x.energies = y.energies
+         && x.deadline = y.deadline)
+       (Ctg.tasks a) (Ctg.tasks b))
+
+let test_seed_sensitivity () =
+  let a = generate 5 and b = generate 6 in
+  let differs =
+    Ctg.n_edges a <> Ctg.n_edges b
+    || Array.exists2
+         (fun (x : Noc_ctg.Task.t) (y : Noc_ctg.Task.t) -> x.exec_times <> y.exec_times)
+         (Ctg.tasks a) (Ctg.tasks b)
+  in
+  Alcotest.(check bool) "different seeds differ" true differs
+
+let test_deadlines_on_sinks () =
+  let g = generate 1 in
+  List.iter
+    (fun sink ->
+      Alcotest.(check bool) "every sink has a deadline" true
+        (Option.is_some (Ctg.task g sink).Noc_ctg.Task.deadline))
+    (Ctg.sinks g);
+  (* Non-sinks carry no deadline in the generated suites. *)
+  let sink_set = Ctg.sinks g in
+  Alcotest.(check (list int)) "deadline tasks are exactly the sinks" sink_set
+    (Ctg.deadline_tasks g)
+
+let test_deadline_value () =
+  (* Deadline >= tightness * fastest path to the sink. *)
+  let params = { Params.default with Params.deadline_tightness = 1.5 } in
+  let g = generate ~params 2 in
+  let n = Ctg.n_tasks g in
+  let min_path =
+    Noc_util.Topo_sort.longest_path_lengths ~n
+      ~succ:(fun v -> Ctg.succs g v)
+      ~weight:(fun v -> Noc_util.Stats.min_value (Ctg.task g v).Noc_ctg.Task.exec_times)
+  in
+  List.iter
+    (fun sink ->
+      match (Ctg.task g sink).Noc_ctg.Task.deadline with
+      | None -> Alcotest.fail "sink without deadline"
+      | Some d ->
+        Alcotest.(check bool) "d >= tightness * min path" true
+          (d >= (1.5 *. min_path.(sink)) -. 1e-6))
+    (Ctg.sinks g)
+
+let test_costs_positive_and_correlated () =
+  let g = generate 3 in
+  Array.iter
+    (fun (t : Noc_ctg.Task.t) ->
+      Array.iter (fun r -> Alcotest.(check bool) "time > 0" true (r > 0.)) t.exec_times;
+      Array.iter (fun e -> Alcotest.(check bool) "energy >= 0" true (e >= 0.)) t.energies)
+    (Ctg.tasks g)
+
+let test_volumes_in_range () =
+  let vmin, vmax = Params.default.Params.volume_range in
+  let g = generate 4 in
+  Array.iter
+    (fun (e : Noc_ctg.Edge.t) ->
+      Alcotest.(check bool) "volume in range" true (e.volume >= vmin && e.volume <= vmax))
+    (Ctg.edges g)
+
+let test_params_validation () =
+  let bad = { Params.default with Params.n_tasks = 0 } in
+  Alcotest.(check bool) "invalid params rejected" true
+    (Result.is_error (Params.validate bad));
+  let bad2 = { Params.default with Params.min_layer_width = 5; max_layer_width = 2 } in
+  Alcotest.(check bool) "bad widths rejected" true (Result.is_error (Params.validate bad2));
+  Alcotest.(check bool) "default validates" true
+    (Result.is_ok (Params.validate Params.default))
+
+let test_category_presets () =
+  let p1 = Category.params Category.Category_i in
+  let p2 = Category.params Category.Category_ii in
+  Alcotest.(check int) "paper size" 500 p1.Params.n_tasks;
+  Alcotest.(check bool) "category II tighter" true
+    (p2.Params.deadline_tightness < p1.Params.deadline_tightness)
+
+let test_category_benchmark_deterministic () =
+  let a = Category.benchmark Category.Category_i ~index:0 in
+  let b = Category.benchmark Category.Category_i ~index:0 in
+  Alcotest.(check int) "same graph" (Ctg.n_edges a) (Ctg.n_edges b);
+  let c = Category.benchmark Category.Category_ii ~index:0 in
+  Alcotest.(check bool) "categories differ" true
+    ((Ctg.task a 0).Noc_ctg.Task.exec_times <> (Ctg.task c 0).Noc_ctg.Task.exec_times
+    || Ctg.n_edges a <> Ctg.n_edges c)
+
+let test_scaled_params () =
+  let scaled = Category.scaled_params Category.Category_i ~scale:0.1 in
+  Alcotest.(check int) "scaled size" 50 scaled.Params.n_tasks
+
+let qcheck_generated_graphs_valid =
+  QCheck.Test.make ~name:"generated graphs are valid DAGs" ~count:50
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let params = { Params.default with Params.n_tasks = 30 } in
+      let g = Generate.generate ~params ~platform ~seed in
+      (* Ctg.make validates acyclicity; re-make from parts must succeed. *)
+      Result.is_ok (Ctg.make ~tasks:(Ctg.tasks g) ~edges:(Ctg.edges g))
+      && Ctg.n_tasks g = 30)
+
+let qcheck_single_task_graph =
+  QCheck.Test.make ~name:"degenerate sizes work" ~count:20
+    QCheck.(int_range 1 4)
+    (fun n_tasks ->
+      let params = { Params.default with Params.n_tasks } in
+      let g = Generate.generate ~params ~platform ~seed:0 in
+      Ctg.n_tasks g = n_tasks)
+
+let suite =
+  [
+    Alcotest.test_case "task count" `Quick test_task_count;
+    Alcotest.test_case "edge count regime" `Quick test_edge_count_regime;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "deadlines on sinks" `Quick test_deadlines_on_sinks;
+    Alcotest.test_case "deadline values" `Quick test_deadline_value;
+    Alcotest.test_case "costs positive" `Quick test_costs_positive_and_correlated;
+    Alcotest.test_case "volumes in range" `Quick test_volumes_in_range;
+    Alcotest.test_case "params validation" `Quick test_params_validation;
+    Alcotest.test_case "category presets" `Quick test_category_presets;
+    Alcotest.test_case "category deterministic" `Quick test_category_benchmark_deterministic;
+    Alcotest.test_case "scaled params" `Quick test_scaled_params;
+    QCheck_alcotest.to_alcotest qcheck_generated_graphs_valid;
+    QCheck_alcotest.to_alcotest qcheck_single_task_graph;
+  ]

@@ -1,0 +1,110 @@
+(* Differential tests: Timeline_map must be observationally equivalent
+   to Timeline under every operation sequence. *)
+
+module A = Noc_util.Timeline
+module B = Noc_util.Timeline_map
+module Interval = Noc_util.Interval
+
+let iv start stop = Interval.make ~start ~stop
+
+(* Apply the same random mix of operations to both implementations and
+   compare every observation. *)
+let qcheck_differential =
+  let op_gen =
+    QCheck.Gen.(
+      frequency
+        [
+          (4, map2 (fun s d -> `Reserve_at (float_of_int s, float_of_int d)) (int_range 0 200) (int_range 1 20));
+          (2, map2 (fun a d -> `Gap (float_of_int a, float_of_int d)) (int_range 0 200) (int_range 1 20));
+          (1, return `Snapshot);
+          (1, return `Restore);
+          (1, map2 (fun a d -> `Is_free (float_of_int a, float_of_int d)) (int_range 0 200) (int_range 1 20));
+        ])
+  in
+  QCheck.Test.make ~name:"map and list timelines are observationally equal" ~count:200
+    (QCheck.make QCheck.Gen.(list_size (int_range 1 60) op_gen))
+    (fun ops ->
+      let a = A.create () and b = B.create () in
+      let snap_a = ref (A.snapshot a) and snap_b = ref (B.snapshot b) in
+      List.for_all
+        (fun op ->
+          match op with
+          | `Reserve_at (start, dur) ->
+            let slot = iv start (start +. dur) in
+            let free_a = A.is_free a slot and free_b = B.is_free b slot in
+            if free_a <> free_b then false
+            else begin
+              if free_a then begin
+                A.reserve a slot;
+                B.reserve b slot
+              end;
+              true
+            end
+          | `Gap (after, dur) ->
+            A.earliest_gap a ~after ~duration:dur
+            = B.earliest_gap b ~after ~duration:dur
+          | `Is_free (after, dur) ->
+            A.is_free a (iv after (after +. dur)) = B.is_free b (iv after (after +. dur))
+          | `Snapshot ->
+            snap_a := A.snapshot a;
+            snap_b := B.snapshot b;
+            true
+          | `Restore ->
+            A.restore a !snap_a;
+            B.restore b !snap_b;
+            true)
+        ops
+      && List.map (fun i -> (i.Interval.start, i.Interval.stop)) (A.busy a)
+         = List.map (fun i -> (i.Interval.start, i.Interval.stop)) (B.busy b))
+
+let qcheck_multi_gap_agrees =
+  QCheck.Test.make ~name:"multi-timeline gaps agree across implementations" ~count:200
+    QCheck.(pair (list (pair (int_range 0 100) (int_range 1 10))) (int_range 1 15))
+    (fun (slots, dur) ->
+      let a1 = A.create () and a2 = A.create () in
+      let b1 = B.create () and b2 = B.create () in
+      List.iteri
+        (fun i (start, len) ->
+          let slot = iv (float_of_int start) (float_of_int (start + len)) in
+          let a, b = if i mod 2 = 0 then (a1, b1) else (a2, b2) in
+          if A.is_free a slot then begin
+            A.reserve a slot;
+            B.reserve (if i mod 2 = 0 then b1 else b2) slot
+          end;
+          ignore b)
+        slots;
+      let dur = float_of_int dur in
+      A.earliest_gap_multi [ a1; a2 ] ~after:0. ~duration:dur
+      = B.earliest_gap_multi [ b1; b2 ] ~after:0. ~duration:dur)
+
+let test_basic_map_operations () =
+  let tl = B.create () in
+  B.reserve tl (iv 0. 10.);
+  B.reserve tl (iv 20. 30.);
+  Alcotest.(check (float 0.)) "gap in hole" 10. (B.earliest_gap tl ~after:0. ~duration:5.);
+  Alcotest.(check (float 0.)) "gap after all" 30. (B.earliest_gap tl ~after:0. ~duration:15.);
+  Alcotest.(check bool) "overlap rejected" true
+    (try
+       B.reserve tl (iv 5. 6.);
+       false
+     with Invalid_argument _ -> true);
+  B.release tl (iv 0. 10.);
+  Alcotest.(check int) "one slot left" 1 (List.length (B.busy tl));
+  Alcotest.(check (float 1e-9)) "utilisation" 0.25 (B.utilisation tl ~horizon:40.);
+  Alcotest.(check (float 0.)) "span" 30. (B.span tl)
+
+let test_map_snapshot () =
+  let tl = B.create () in
+  B.reserve tl (iv 0. 5.);
+  let snap = B.snapshot tl in
+  B.reserve tl (iv 10. 15.);
+  B.restore tl snap;
+  Alcotest.(check int) "restored" 1 (List.length (B.busy tl))
+
+let suite =
+  [
+    Alcotest.test_case "basic map operations" `Quick test_basic_map_operations;
+    Alcotest.test_case "map snapshot" `Quick test_map_snapshot;
+    QCheck_alcotest.to_alcotest qcheck_differential;
+    QCheck_alcotest.to_alcotest qcheck_multi_gap_agrees;
+  ]

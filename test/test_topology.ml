@@ -1,0 +1,105 @@
+(* Tests for Noc_noc.Topology. *)
+
+module Topology = Noc_noc.Topology
+
+let mesh33 = Topology.mesh ~cols:3 ~rows:3
+let torus33 = Topology.torus ~cols:3 ~rows:3
+
+let test_dimensions () =
+  Alcotest.(check int) "nodes" 9 (Topology.n_nodes mesh33);
+  Alcotest.(check int) "cols" 3 (Topology.cols mesh33);
+  Alcotest.(check int) "rows" 3 (Topology.rows mesh33)
+
+let test_coords_roundtrip () =
+  for i = 0 to 8 do
+    let x, y = Topology.coords mesh33 i in
+    Alcotest.(check int) "roundtrip" i (Topology.index mesh33 ~x ~y)
+  done
+
+let test_coords_row_major () =
+  Alcotest.(check (pair int int)) "tile 0" (0, 0) (Topology.coords mesh33 0);
+  Alcotest.(check (pair int int)) "tile 5" (2, 1) (Topology.coords mesh33 5);
+  Alcotest.(check (pair int int)) "tile 8" (2, 2) (Topology.coords mesh33 8)
+
+let expect_invalid f =
+  Alcotest.(check bool) "Invalid_argument" true
+    (try
+       ignore (f ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_bounds_checked () =
+  expect_invalid (fun () -> Topology.coords mesh33 9);
+  expect_invalid (fun () -> Topology.index mesh33 ~x:3 ~y:0);
+  expect_invalid (fun () -> Topology.mesh ~cols:0 ~rows:2)
+
+let test_mesh_distance () =
+  (* Manhattan distance on the mesh. *)
+  Alcotest.(check int) "corner to corner" 4 (Topology.distance mesh33 0 8);
+  Alcotest.(check int) "same tile" 0 (Topology.distance mesh33 4 4);
+  Alcotest.(check int) "adjacent" 1 (Topology.distance mesh33 0 1)
+
+let test_torus_distance_wraps () =
+  (* On a 3x3 torus, opposite edges are one hop apart. *)
+  Alcotest.(check int) "x wrap" 1 (Topology.distance torus33 0 2);
+  Alcotest.(check int) "y wrap" 1 (Topology.distance torus33 0 6);
+  Alcotest.(check int) "corner wrap" 2 (Topology.distance torus33 0 8)
+
+let test_neighbours () =
+  Alcotest.(check bool) "horizontally adjacent" true
+    (Topology.are_neighbours mesh33 0 1);
+  Alcotest.(check bool) "vertically adjacent" true
+    (Topology.are_neighbours mesh33 0 3);
+  Alcotest.(check bool) "diagonal not adjacent" false
+    (Topology.are_neighbours mesh33 0 4);
+  Alcotest.(check bool) "self not neighbour" false
+    (Topology.are_neighbours mesh33 0 0);
+  (* Mesh rows do not wrap; torus rows do. *)
+  Alcotest.(check bool) "mesh edge no wrap" false (Topology.are_neighbours mesh33 0 2);
+  Alcotest.(check bool) "torus wraps" true (Topology.are_neighbours torus33 0 2)
+
+let test_step () =
+  (* Moving +x from tile 0 reaches tile 1. *)
+  Alcotest.(check int) "step +x" 1 (Topology.step mesh33 0 ~dx:1 ~dy:0);
+  Alcotest.(check int) "step +y" 3 (Topology.step mesh33 0 ~dx:0 ~dy:1);
+  Alcotest.(check int) "torus wrap step" 2 (Topology.step torus33 0 ~dx:(-1) ~dy:0);
+  expect_invalid (fun () -> Topology.step mesh33 0 ~dx:(-1) ~dy:0);
+  expect_invalid (fun () -> Topology.step mesh33 0 ~dx:1 ~dy:1)
+
+let test_deltas_mesh () =
+  let dx, dy = Topology.deltas mesh33 0 8 in
+  Alcotest.(check (pair int int)) "mesh deltas" (2, 2) (dx, dy)
+
+let test_deltas_torus_shorter_way () =
+  let dx, dy = Topology.deltas torus33 0 2 in
+  Alcotest.(check (pair int int)) "wraps backwards" (-1, 0) (dx, dy)
+
+let qcheck_distance_symmetric =
+  QCheck.Test.make ~name:"distance is symmetric" ~count:300
+    QCheck.(pair (int_range 0 8) (int_range 0 8))
+    (fun (i, j) ->
+      Topology.distance mesh33 i j = Topology.distance mesh33 j i
+      && Topology.distance torus33 i j = Topology.distance torus33 j i)
+
+let qcheck_triangle_inequality =
+  QCheck.Test.make ~name:"mesh distance triangle inequality" ~count:300
+    QCheck.(triple (int_range 0 8) (int_range 0 8) (int_range 0 8))
+    (fun (i, j, k) ->
+      Topology.distance mesh33 i k
+      <= Topology.distance mesh33 i j + Topology.distance mesh33 j k)
+
+let suite =
+  [
+    Alcotest.test_case "dimensions" `Quick test_dimensions;
+    Alcotest.test_case "coords roundtrip" `Quick test_coords_roundtrip;
+    Alcotest.test_case "row-major layout" `Quick test_coords_row_major;
+    Alcotest.test_case "bounds checked" `Quick test_bounds_checked;
+    Alcotest.test_case "mesh distance" `Quick test_mesh_distance;
+    Alcotest.test_case "torus distance wraps" `Quick test_torus_distance_wraps;
+    Alcotest.test_case "neighbours" `Quick test_neighbours;
+    Alcotest.test_case "step" `Quick test_step;
+    Alcotest.test_case "mesh deltas" `Quick test_deltas_mesh;
+    Alcotest.test_case "torus shorter way" `Quick test_deltas_torus_shorter_way;
+    QCheck_alcotest.to_alcotest qcheck_distance_symmetric;
+    QCheck_alcotest.to_alcotest qcheck_triangle_inequality;
+  ]

@@ -1,10 +1,14 @@
-.PHONY: all build test bench quick-bench examples doc clean
+.PHONY: all build test bench bench-json quick-bench examples doc clean
 
 all: build
 
 build:
 	dune build @all
 
+# Tier-1 gate: the full alcotest/qcheck suite, including the timeline
+# differential tests and the scheduler golden-energy oracle. `dune
+# runtest` is incremental; use `dune runtest --force` to re-run green
+# suites.
 test:
 	dune runtest
 
@@ -15,6 +19,13 @@ bench:
 # Scaled-down random suites for a fast smoke run.
 quick-bench:
 	dune exec bench/main.exe -- --quick
+
+# Persisted bench gate: timeline micro-benchmark medians plus end-to-end
+# EAS wall time, written to BENCH_timeline.json (committed so later PRs
+# have a trajectory to regress against). Exits non-zero if the indexed
+# timeline is less than 5x the reference list implementation.
+bench-json:
+	dune exec bench/main.exe -- --json BENCH_timeline.json
 
 examples:
 	dune exec examples/quickstart.exe

@@ -6,6 +6,8 @@
      dune exec bench/main.exe                 # every experiment, paper size
      dune exec bench/main.exe -- --quick      # scaled-down graphs
      dune exec bench/main.exe -- fig5 tab1    # a subset
+     dune exec bench/main.exe -- --json BENCH_timeline.json
+                                              # persisted bench gate only
    Experiments: fig5 fig6 tab1 tab2 tab3 fig7 split ablation micro. *)
 
 let section title =
@@ -100,7 +102,7 @@ let micro () =
                 (Noc_eas.Eas.schedule Noc_msb.Platforms.av_3x3 msb).schedule
               in
               fun () -> ignore (Noc_sim.Executor.run Noc_msb.Platforms.av_3x3 msb s)));
-        Test.make ~name:"timeline-list/reserve-gap"
+        Test.make ~name:"timeline-indexed/reserve-gap"
           (Staged.stage (fun () ->
                let tl = Noc_util.Timeline.create () in
                for i = 0 to 99 do
@@ -138,8 +140,209 @@ let micro () =
     (fun (name, ns) -> Printf.printf "%-28s %12.1f ns/run (%.3f ms)\n" name ns (ns /. 1e6))
     (List.sort compare !rows)
 
+(* ------------------------------------------------------------------ *)
+(* Persisted bench gate (--json FILE): timeline micro-benchmark medians
+   and end-to-end EAS wall times, written as machine-readable JSON so
+   later PRs have a recorded trajectory to regress against. The same
+   operations run against the indexed Timeline and the naive
+   Timeline_reference model, giving each report a built-in baseline. *)
+
+module Json_bench = struct
+  module Interval = Noc_util.Interval
+
+  (* The operations the gate exercises, over either implementation. *)
+  module type TIMELINE = sig
+    type t
+
+    val create : unit -> t
+    val reserve : t -> Interval.t -> unit
+    val release : t -> Interval.t -> unit
+    val earliest_gap : t -> after:float -> duration:float -> float
+  end
+
+  let median samples =
+    let a = Array.of_list samples in
+    Array.sort Float.compare a;
+    let n = Array.length a in
+    if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+  let time_s f =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+
+  let median_of ~repeats f = median (List.init repeats (fun _ -> time_s f))
+
+  module Ops (T : TIMELINE) = struct
+    (* Unit slots at even starts: [0,1) [2,3) ... — every probe lands in
+       a populated table with gaps everywhere. *)
+    let build n =
+      let tl = T.create () in
+      for i = 0 to n - 1 do
+        let start = float_of_int (2 * i) in
+        T.reserve tl (Interval.make ~start ~stop:(start +. 1.))
+      done;
+      tl
+
+    (* ns per reserve when appending [slots] reservations to a fresh
+       table (the scheduler's dominant pattern). *)
+    let bench_reserve ~repeats ~slots =
+      let per_run () = ignore (build slots) in
+      median_of ~repeats per_run *. 1e9 /. float_of_int slots
+
+    (* ns per earliest-gap query against a prebuilt [slots]-slot table,
+       with deterministic pseudo-random release times. *)
+    let bench_gap ~repeats ~slots =
+      let tl = build slots in
+      let queries = 1_000 in
+      let per_run () =
+        let rng = Noc_util.Prng.create ~seed:0xbe7c in
+        for _ = 1 to queries do
+          let after = Noc_util.Prng.float rng ~bound:(float_of_int (2 * slots)) in
+          ignore (T.earliest_gap tl ~after ~duration:0.5)
+        done
+      in
+      median_of ~repeats per_run *. 1e9 /. float_of_int queries
+
+    (* ns per journal entry undone: reserve a burst at the end of a
+       [slots]-slot table, then release it in reverse order — exactly
+       what Resource_state.rollback does after a tentative F(i,k)
+       probe. *)
+    let bench_rollback ~repeats ~slots =
+      let tl = build slots in
+      let burst = 100 in
+      let base = float_of_int (2 * slots) in
+      let ivs =
+        List.init burst (fun i ->
+            let start = base +. float_of_int (2 * i) in
+            Interval.make ~start ~stop:(start +. 1.))
+      in
+      let per_run () =
+        List.iter (fun iv -> T.reserve tl iv) ivs;
+        List.iter (fun iv -> T.release tl iv) (List.rev ivs)
+      in
+      median_of ~repeats per_run *. 1e9 /. float_of_int (2 * burst)
+  end
+
+  module Indexed = Ops (Noc_util.Timeline)
+  module Reference = Ops (Noc_util.Timeline_reference)
+
+  type row = { op : string; slots : int; indexed_ns : float; reference_ns : float }
+
+  let micro_rows () =
+    List.concat_map
+      (fun slots ->
+        (* The O(n^2) reference rebuild at 10k slots is slow; three
+           repeats keep the gate under a few seconds. *)
+        let repeats = if slots >= 10_000 then 3 else 7 in
+        [
+          {
+            op = "reserve";
+            slots;
+            indexed_ns = Indexed.bench_reserve ~repeats ~slots;
+            reference_ns = Reference.bench_reserve ~repeats ~slots;
+          };
+          {
+            op = "gap";
+            slots;
+            indexed_ns = Indexed.bench_gap ~repeats ~slots;
+            reference_ns = Reference.bench_gap ~repeats ~slots;
+          };
+          {
+            op = "rollback";
+            slots;
+            indexed_ns = Indexed.bench_rollback ~repeats ~slots;
+            reference_ns = Reference.bench_rollback ~repeats ~slots;
+          };
+        ])
+      [ 1_000; 10_000 ]
+
+  let eas_rows () =
+    let platform = Noc_tgff.Category.platform in
+    let params = Noc_tgff.Category.params Noc_tgff.Category.Category_i in
+    List.map
+      (fun index ->
+        let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed:(1_000 + index) in
+        let wall =
+          median_of ~repeats:3 (fun () ->
+              ignore (Noc_eas.Eas.schedule platform ctg))
+        in
+        (Printf.sprintf "category-i/%d" index, wall))
+      [ 0; 1; 2 ]
+
+  let run file =
+    (* Open the output before the measurements so a bad path fails in
+       milliseconds, not after the full bench. *)
+    let oc =
+      try open_out file
+      with Sys_error msg ->
+        Printf.eprintf "cannot write bench output: %s\n" msg;
+        exit 1
+    in
+    let rows = micro_rows () in
+    let eas = eas_rows () in
+    let combined which =
+      List.fold_left
+        (fun acc r ->
+          if r.slots = 10_000 && (r.op = "reserve" || r.op = "gap") then
+            acc +. which r
+          else acc)
+        0. rows
+    in
+    let speedup =
+      combined (fun r -> r.reference_ns) /. combined (fun r -> r.indexed_ns)
+    in
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"schema\": \"nocsched/bench-timeline/v1\",\n";
+    Buffer.add_string buf "  \"timeline_ns_per_op\": [\n";
+    List.iteri
+      (fun i r ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"op\": %S, \"slots\": %d, \"indexed\": %.1f, \"reference\": \
+              %.1f}%s\n"
+             r.op r.slots r.indexed_ns r.reference_ns
+             (if i = List.length rows - 1 then "" else ",")))
+      rows;
+    Buffer.add_string buf "  ],\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"speedup_reserve_gap_10k_vs_reference\": %.1f,\n" speedup);
+    Buffer.add_string buf "  \"eas_wall_s\": [\n";
+    List.iteri
+      (fun i (name, wall) ->
+        Buffer.add_string buf
+          (Printf.sprintf "    {\"benchmark\": %S, \"median_s\": %.4f}%s\n" name wall
+             (if i = List.length eas - 1 then "" else ",")))
+      eas;
+    Buffer.add_string buf "  ],\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"eas_category_i_median_s\": %.4f\n"
+         (median (List.map snd eas)));
+    Buffer.add_string buf "}\n";
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_string (Buffer.contents buf);
+    Printf.printf "wrote %s\n" file;
+    if speedup < 5. then begin
+      Printf.eprintf
+        "bench gate FAILED: reserve+gap at 10k slots only %.1fx faster than the \
+         reference list implementation (need >= 5x)\n"
+        speedup;
+      exit 1
+    end
+end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (match args with
+  | [ "--json"; file ] ->
+    Json_bench.run file;
+    exit 0
+  | "--json" :: _ ->
+    prerr_endline "usage: bench/main.exe --json FILE";
+    exit 2
+  | _ -> ());
   let quick = List.mem "--quick" args in
   let wanted = List.filter (fun a -> a <> "--quick") args in
   let all =

@@ -1,9 +1,15 @@
+(* Routes are deterministic per (topology, src, dst), and the scheduler's
+   tentative-placement loop asks for the same pairs thousands of times, so
+   each platform memoises its n^2 route table (filled on demand). *)
+type route_info = { nodes : int list; links : Routing.link list; n_hops : int }
+
 type t = {
   topology : Topology.t;
   pes : Pe.t array;
   energy : Energy_model.t;
   link_bandwidth : float;
   router_latency : float;
+  route_cache : route_info option array; (* indexed by src * n + dst *)
 }
 
 let make ~topology ~pes ?(energy = Energy_model.default) ?(link_bandwidth = 3200.)
@@ -18,7 +24,15 @@ let make ~topology ~pes ?(energy = Energy_model.default) ?(link_bandwidth = 3200
     invalid_arg "Platform.make: bandwidth must be positive";
   if not (router_latency >= 0.) then
     invalid_arg "Platform.make: router latency must be non-negative";
-  { topology; pes; energy; link_bandwidth; router_latency }
+  let n = Array.length pes in
+  {
+    topology;
+    pes;
+    energy;
+    link_bandwidth;
+    router_latency;
+    route_cache = Array.make (n * n) None;
+  }
 
 let topology t = t.topology
 let energy_model t = t.energy
@@ -27,9 +41,25 @@ let pe t i = t.pes.(i)
 let pes t = t.pes
 let link_bandwidth t = t.link_bandwidth
 let router_latency t = t.router_latency
-let route t ~src ~dst = Routing.route t.topology ~src ~dst
-let route_links t ~src ~dst = Routing.links t.topology ~src ~dst
-let hops t ~src ~dst = Routing.hops t.topology ~src ~dst
+let route_info t ~src ~dst =
+  let idx = (src * Array.length t.pes) + dst in
+  match t.route_cache.(idx) with
+  | Some info -> info
+  | None ->
+    let nodes = Routing.route t.topology ~src ~dst in
+    let info =
+      {
+        nodes;
+        links = Routing.links_of_route nodes;
+        n_hops = Routing.hops t.topology ~src ~dst;
+      }
+    in
+    t.route_cache.(idx) <- Some info;
+    info
+
+let route t ~src ~dst = (route_info t ~src ~dst).nodes
+let route_links t ~src ~dst = (route_info t ~src ~dst).links
+let hops t ~src ~dst = (route_info t ~src ~dst).n_hops
 let bit_energy t ~src ~dst = Energy_model.bit_energy t.energy ~n_hops:(hops t ~src ~dst)
 
 let comm_energy t ~src ~dst ~bits =

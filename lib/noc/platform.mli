@@ -35,7 +35,10 @@ val link_bandwidth : t -> float
 val router_latency : t -> float
 
 val route : t -> src:int -> dst:int -> int list
-(** Routers visited between the two PEs' tiles (see {!Routing.route}). *)
+(** Routers visited between the two PEs' tiles (see {!Routing.route}).
+    Routes are deterministic, so [route], [route_links] and [hops] are
+    memoized in a per-platform [(src, dst)] table filled on first use —
+    repeated probes from the scheduler's inner loop cost one array read. *)
 
 val route_links : t -> src:int -> dst:int -> Routing.link list
 val hops : t -> src:int -> dst:int -> int

@@ -15,8 +15,9 @@ let place ?(model = Contention_aware) state pending ~dst_pe =
       finish = pending.sender_finish;
     }
   else begin
+    (* Both hit the platform's memoized route table. *)
     let route_nodes = Noc_noc.Platform.route platform ~src:src_pe ~dst:dst_pe in
-    let links = Noc_noc.Routing.links_of_route route_nodes in
+    let links = Noc_noc.Platform.route_links platform ~src:src_pe ~dst:dst_pe in
     let duration =
       Noc_noc.Platform.comm_duration platform ~src:src_pe ~dst:dst_pe
         ~bits:pending.bits

@@ -1,96 +1,186 @@
-type t = { mutable slots : Interval.t list (* sorted by start, disjoint *) }
-type snapshot = Interval.t list
+(* Indexed schedule table: the busy set lives in a pair of parallel
+   float arrays (starts, stops) sorted by start, with [len] live slots.
+   Disjointness makes the stop sequence sorted too, so both endpoints
+   admit binary search. The scheduler's dominant pattern — reserving at
+   the end of the table — hits the O(1) amortized append path; mid-table
+   inserts and releases pay one [Array.blit]. *)
 
-let create () = { slots = [] }
-let busy t = t.slots
+type t = {
+  mutable starts : float array;
+  mutable stops : float array;
+  mutable len : int;
+}
 
-let is_free t iv =
-  Interval.is_empty iv || not (List.exists (Interval.overlaps iv) t.slots)
+type snapshot = { snap_starts : float array; snap_stops : float array; snap_len : int }
 
-let gap_in_sorted slots ~after ~duration =
-  (* Walk the sorted busy list keeping the earliest candidate start. *)
-  let rec walk candidate = function
-    | [] -> candidate
-    | iv :: rest ->
-      if Interval.is_empty iv then walk candidate rest
-      else if candidate +. duration <= iv.Interval.start then candidate
-      else walk (Float.max candidate iv.Interval.stop) rest
-  in
-  if duration = 0. then after else walk after slots
+let create () = { starts = [||]; stops = [||]; len = 0 }
+
+let busy t =
+  List.init t.len (fun i -> Interval.make ~start:t.starts.(i) ~stop:t.stops.(i))
+
+(* First index whose slot ends strictly after [x] (slots ending at or
+   before [x] cannot constrain anything at or after it), or [len]. *)
+let first_stop_after t x =
+  let lo = ref 0 and hi = ref t.len in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.stops.(mid) > x then hi := mid else lo := mid + 1
+  done;
+  !lo
+
+let is_free t (iv : Interval.t) =
+  Interval.is_empty iv
+  ||
+  let i = first_stop_after t iv.Interval.start in
+  i >= t.len || t.starts.(i) >= iv.Interval.stop
 
 let earliest_gap t ~after ~duration =
   assert (duration >= 0.);
-  gap_in_sorted t.slots ~after ~duration
-
-let reserve t iv =
-  if not (Interval.is_empty iv) then begin
-    let rec insert = function
-      | [] -> [ iv ]
-      | hd :: tl ->
-        if Interval.overlaps iv hd then
-          invalid_arg
-            (Format.asprintf "Timeline.reserve: %a overlaps %a" Interval.pp iv
-               Interval.pp hd)
-        else if Interval.compare_start iv hd < 0 then iv :: hd :: tl
-        else hd :: insert tl
-    in
-    t.slots <- insert t.slots
+  if duration = 0. then after
+  else begin
+    let candidate = ref after in
+    let i = ref (first_stop_after t after) in
+    let continue = ref true in
+    while !continue && !i < t.len do
+      if !candidate +. duration <= t.starts.(!i) then continue := false
+      else begin
+        if t.stops.(!i) > !candidate then candidate := t.stops.(!i);
+        incr i
+      end
+    done;
+    !candidate
   end
 
-let release t iv =
+let ensure_capacity t n =
+  let cap = Array.length t.starts in
+  if n > cap then begin
+    let cap' = Int.max n (Int.max 8 (2 * cap)) in
+    let starts = Array.make cap' 0. and stops = Array.make cap' 0. in
+    Array.blit t.starts 0 starts 0 t.len;
+    Array.blit t.stops 0 stops 0 t.len;
+    t.starts <- starts;
+    t.stops <- stops
+  end
+
+let reserve t (iv : Interval.t) =
   if not (Interval.is_empty iv) then begin
-    let found = ref false in
-    let rec remove = function
-      | [] -> []
-      | hd :: tl ->
-        if (not !found) && Interval.equal hd iv then begin
-          found := true;
-          tl
-        end
-        else hd :: remove tl
-    in
-    let slots = remove t.slots in
-    if not !found then
-      invalid_arg (Format.asprintf "Timeline.release: %a not reserved" Interval.pp iv);
-    t.slots <- slots
+    let i = first_stop_after t iv.Interval.start in
+    (* Every slot before [i] ends at or before [iv.start]; slot [i] is the
+       only candidate overlap, and [i] is also the insertion point. *)
+    if i < t.len && t.starts.(i) < iv.Interval.stop then
+      invalid_arg
+        (Format.asprintf "Timeline.reserve: %a overlaps %a" Interval.pp iv
+           Interval.pp
+           (Interval.make ~start:t.starts.(i) ~stop:t.stops.(i)));
+    ensure_capacity t (t.len + 1);
+    if i < t.len then begin
+      Array.blit t.starts i t.starts (i + 1) (t.len - i);
+      Array.blit t.stops i t.stops (i + 1) (t.len - i)
+    end;
+    t.starts.(i) <- iv.Interval.start;
+    t.stops.(i) <- iv.Interval.stop;
+    t.len <- t.len + 1
+  end
+
+let release t (iv : Interval.t) =
+  if not (Interval.is_empty iv) then begin
+    let i = first_stop_after t iv.Interval.start in
+    if i < t.len && t.starts.(i) = iv.Interval.start && t.stops.(i) = iv.Interval.stop
+    then begin
+      Array.blit t.starts (i + 1) t.starts i (t.len - i - 1);
+      Array.blit t.stops (i + 1) t.stops i (t.len - i - 1);
+      t.len <- t.len - 1
+    end
+    else
+      invalid_arg
+        (Format.asprintf "Timeline.release: %a not reserved (slot index %d of %d)"
+           Interval.pp iv i t.len)
   end
 
 let utilisation t ~horizon =
   assert (horizon > 0.);
-  let covered =
-    List.fold_left
-      (fun acc iv ->
-        let start = Float.min iv.Interval.start horizon in
-        let stop = Float.min iv.Interval.stop horizon in
-        acc +. Float.max 0. (stop -. start))
-      0. t.slots
-  in
-  covered /. horizon
+  let covered = ref 0. in
+  for i = 0 to t.len - 1 do
+    let start = Float.min t.starts.(i) horizon in
+    let stop = Float.min t.stops.(i) horizon in
+    covered := !covered +. Float.max 0. (stop -. start)
+  done;
+  !covered /. horizon
 
-let span t = List.fold_left (fun acc iv -> Float.max acc iv.Interval.stop) 0. t.slots
-let snapshot t = t.slots
-let restore t snap = t.slots <- snap
+let span t = if t.len = 0 then 0. else t.stops.(t.len - 1)
+
+let snapshot t =
+  {
+    snap_starts = Array.sub t.starts 0 t.len;
+    snap_stops = Array.sub t.stops 0 t.len;
+    snap_len = t.len;
+  }
+
+let restore t snap =
+  ensure_capacity t snap.snap_len;
+  Array.blit snap.snap_starts 0 t.starts 0 snap.snap_len;
+  Array.blit snap.snap_stops 0 t.stops 0 snap.snap_len;
+  t.len <- snap.snap_len
 
 let merged_busy tls ~after =
-  let relevant =
-    List.concat_map
-      (fun tl ->
-        List.filter (fun iv -> iv.Interval.stop > after && not (Interval.is_empty iv)) tl.slots)
-      tls
+  let total =
+    List.fold_left (fun acc tl -> acc + (tl.len - first_stop_after tl after)) 0 tls
   in
-  let sorted = List.sort Interval.compare_start relevant in
-  let rec coalesce = function
-    | [] -> []
-    | [ iv ] -> [ iv ]
-    | a :: b :: rest ->
-      if b.Interval.start <= a.Interval.stop then coalesce (Interval.merge a b :: rest)
-      else a :: coalesce (b :: rest)
+  let slots = Array.make (Int.max total 1) (0., 0.) in
+  let k = ref 0 in
+  List.iter
+    (fun tl ->
+      for i = first_stop_after tl after to tl.len - 1 do
+        slots.(!k) <- (tl.starts.(i), tl.stops.(i));
+        incr k
+      done)
+    tls;
+  let slots = if total = Array.length slots then slots else Array.sub slots 0 total in
+  Array.sort
+    (fun (sa, ea) (sb, eb) ->
+      let c = Float.compare sa sb in
+      if c <> 0 then c else Float.compare ea eb)
+    slots;
+  (* Coalesce with an accumulator (tail position throughout): a merged
+     table can hold every slot of every link, so recursion depth must not
+     scale with it. *)
+  let coalesced =
+    Array.fold_left
+      (fun acc (s, e) ->
+        match acc with
+        | (cs, ce) :: rest when s <= ce ->
+          if e > ce then (cs, e) :: rest else acc
+        | _ -> (s, e) :: acc)
+      [] slots
   in
-  coalesce sorted
+  List.rev_map (fun (s, e) -> Interval.make ~start:s ~stop:e) coalesced
 
 let earliest_gap_multi tls ~after ~duration =
   assert (duration >= 0.);
-  gap_in_sorted (merged_busy tls ~after) ~after ~duration
+  if duration = 0. then after
+  else begin
+    (* Candidate advance: probe every table for a slot overlapping
+       [candidate, candidate + duration); any hit pushes the candidate to
+       that slot's stop. Each advance retires at least one slot of one
+       table for good, so the loop does O(total slots) probes worst case
+       and typically just one round of binary searches. *)
+    let candidate = ref after in
+    let moved = ref true in
+    while !moved do
+      moved := false;
+      List.iter
+        (fun tl ->
+          let i = first_stop_after tl !candidate in
+          if i < tl.len && tl.starts.(i) < !candidate +. duration then begin
+            candidate := tl.stops.(i);
+            moved := true
+          end)
+        tls
+    done;
+    !candidate
+  end
 
 let pp ppf t =
-  Format.fprintf ppf "@[<h>%a@]" (Format.pp_print_list ~pp_sep:Format.pp_print_space Interval.pp) t.slots
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Interval.pp)
+    (busy t)

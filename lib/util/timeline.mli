@@ -3,9 +3,17 @@
     A timeline records the busy slots of one resource (a processing element
     or a directed network link). It supports the two operations the paper's
     scheduler needs: finding the earliest gap of a given duration at or
-    after a release time, and reserving a slot. Internally the busy set is
-    an immutable sorted list held in a mutable cell, so snapshotting for
-    the tentative [F(i,k)] computations of EAS Step 2 is O(1). *)
+    after a release time, and reserving a slot.
+
+    Internally the busy set is a sorted dynamic array indexed by binary
+    search: [is_free] and [release] are O(log n), [earliest_gap] is
+    O(log n + slots walked past), [reserve] is O(1) amortized for the
+    scheduler's dominant append-at-end pattern and O(n) worst case for a
+    mid-table insert. Snapshots copy the live prefix (O(n)); the hot
+    tentative-[F(i,k)] path of EAS Step 2 instead undoes its reservations
+    through [Noc_sched.Resource_state]'s journal, which never snapshots.
+    Behavioural equivalence with the naive {!Timeline_reference} model is
+    enforced by qcheck differential tests over random operation traces. *)
 
 type t
 
@@ -32,7 +40,8 @@ val reserve : t -> Interval.t -> unit
 
 val release : t -> Interval.t -> unit
 (** [release t iv] removes a busy interval equal to [iv]. Raises
-    [Invalid_argument] when no such interval exists. *)
+    [Invalid_argument] when no such interval exists; the message reports
+    the table index where the interval would have lived. *)
 
 val utilisation : t -> horizon:float -> float
 (** Fraction of [0, horizon) covered by busy intervals (clipped to the

@@ -94,14 +94,17 @@ let merged_busy tls ~after =
       tls
   in
   let sorted = List.sort Interval.compare_start relevant in
-  let rec coalesce = function
-    | [] -> []
-    | [ iv ] -> [ iv ]
-    | a :: b :: rest ->
-      if b.Interval.start <= a.Interval.stop then coalesce (Interval.merge a b :: rest)
-      else a :: coalesce (b :: rest)
+  (* Accumulator form: depth must not scale with the merged table size. *)
+  let coalesced =
+    List.fold_left
+      (fun acc iv ->
+        match acc with
+        | a :: rest when iv.Interval.start <= a.Interval.stop ->
+          Interval.merge a iv :: rest
+        | _ -> iv :: acc)
+      [] sorted
   in
-  coalesce sorted
+  List.rev coalesced
 
 let earliest_gap_multi tls ~after ~duration =
   assert (duration >= 0.);

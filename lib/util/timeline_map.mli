@@ -3,13 +3,13 @@
 
     Same observable behaviour as {!Timeline} (verified by differential
     property tests); the busy set is a [Map] keyed by start time instead
-    of a sorted list, so [reserve]/[release]/[is_free] cost O(log n)
-    against the list's O(n), at the price of O(n) snapshots being
-    slightly heavier constants. The default scheduler stack keeps the
-    list implementation (profiles show tables stay small — tens of slots
-    — where the list's constants win; see the [micro] bench target), but
-    workloads with thousands of reservations per resource can swap this
-    module in: the two interfaces are identical. *)
+    of an indexed array. Both give logarithmic queries, but the map pays
+    pointer-chasing and allocation on every operation where the array
+    pays one [blit]; the default scheduler stack uses the indexed
+    {!Timeline} (see the [--json] bench gate for measured numbers). This
+    module remains as a persistent-structure alternative — its O(1)
+    snapshots make it attractive for workloads that snapshot far more
+    often than they reserve. The interfaces are identical. *)
 
 type t
 type snapshot

@@ -1,0 +1,105 @@
+(* The original list-based schedule table, kept verbatim as the naive
+   model for differential testing of the indexed Timeline. Correctness
+   here is easy to audit by eye; speed is irrelevant. *)
+
+type t = { mutable slots : Interval.t list (* sorted by start, disjoint *) }
+type snapshot = Interval.t list
+
+let create () = { slots = [] }
+let busy t = t.slots
+
+let is_free t iv =
+  Interval.is_empty iv || not (List.exists (Interval.overlaps iv) t.slots)
+
+let gap_in_sorted slots ~after ~duration =
+  (* Walk the sorted busy list keeping the earliest candidate start. *)
+  let rec walk candidate = function
+    | [] -> candidate
+    | iv :: rest ->
+      if Interval.is_empty iv then walk candidate rest
+      else if candidate +. duration <= iv.Interval.start then candidate
+      else walk (Float.max candidate iv.Interval.stop) rest
+  in
+  if duration = 0. then after else walk after slots
+
+let earliest_gap t ~after ~duration =
+  assert (duration >= 0.);
+  gap_in_sorted t.slots ~after ~duration
+
+let reserve t iv =
+  if not (Interval.is_empty iv) then begin
+    let rec insert = function
+      | [] -> [ iv ]
+      | hd :: tl ->
+        if Interval.overlaps iv hd then
+          invalid_arg
+            (Format.asprintf "Timeline_reference.reserve: %a overlaps %a"
+               Interval.pp iv Interval.pp hd)
+        else if Interval.compare_start iv hd < 0 then iv :: hd :: tl
+        else hd :: insert tl
+    in
+    t.slots <- insert t.slots
+  end
+
+let release t iv =
+  if not (Interval.is_empty iv) then begin
+    let found = ref false in
+    let rec remove = function
+      | [] -> []
+      | hd :: tl ->
+        if (not !found) && Interval.equal hd iv then begin
+          found := true;
+          tl
+        end
+        else hd :: remove tl
+    in
+    let slots = remove t.slots in
+    if not !found then
+      invalid_arg
+        (Format.asprintf "Timeline_reference.release: %a not reserved" Interval.pp iv);
+    t.slots <- slots
+  end
+
+let utilisation t ~horizon =
+  assert (horizon > 0.);
+  let covered =
+    List.fold_left
+      (fun acc iv ->
+        let start = Float.min iv.Interval.start horizon in
+        let stop = Float.min iv.Interval.stop horizon in
+        acc +. Float.max 0. (stop -. start))
+      0. t.slots
+  in
+  covered /. horizon
+
+let span t = List.fold_left (fun acc iv -> Float.max acc iv.Interval.stop) 0. t.slots
+let snapshot t = t.slots
+let restore t snap = t.slots <- snap
+
+let merged_busy tls ~after =
+  let relevant =
+    List.concat_map
+      (fun tl ->
+        List.filter
+          (fun iv -> iv.Interval.stop > after && not (Interval.is_empty iv))
+          tl.slots)
+      tls
+  in
+  let sorted = List.sort Interval.compare_start relevant in
+  let rec coalesce = function
+    | [] -> []
+    | [ iv ] -> [ iv ]
+    | a :: b :: rest ->
+      if b.Interval.start <= a.Interval.stop then coalesce (Interval.merge a b :: rest)
+      else a :: coalesce (b :: rest)
+  in
+  coalesce sorted
+
+let earliest_gap_multi tls ~after ~duration =
+  assert (duration >= 0.);
+  gap_in_sorted (merged_busy tls ~after) ~after ~duration
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Interval.pp)
+    t.slots

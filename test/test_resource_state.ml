@@ -1,0 +1,126 @@
+(* Rollback edge cases of the journalled Resource_state.
+
+   The EAS inner loop leans hard on mark/rollback; these tests pin the
+   journal semantics the indexed substrate must preserve: empty marks,
+   nested marks, empty-interval reserves that skip the journal, and
+   marks invalidated by an enclosing rollback. *)
+
+module Resource_state = Noc_sched.Resource_state
+module Timeline = Noc_util.Timeline
+module Interval = Noc_util.Interval
+
+let platform = Noc_noc.Platform.homogeneous_mesh ~cols:2 ~rows:2
+
+let iv start stop = Interval.make ~start ~stop
+let link = { Noc_noc.Routing.from_node = 0; to_node = 1 }
+
+let busy_count state pe = List.length (Timeline.busy (Resource_state.pe_table state pe))
+
+let test_rollback_to_empty_mark () =
+  let state = Resource_state.create platform in
+  let m = Resource_state.mark state in
+  Resource_state.reserve_pe state ~pe:0 (iv 0. 5.);
+  Resource_state.reserve_pe state ~pe:1 (iv 2. 4.);
+  Resource_state.reserve_link state link (iv 0. 1.);
+  Resource_state.rollback state m;
+  Alcotest.(check int) "pe 0 empty" 0 (busy_count state 0);
+  Alcotest.(check int) "pe 1 empty" 0 (busy_count state 1);
+  Alcotest.(check int) "link empty" 0
+    (List.length (Timeline.busy (Resource_state.link_table state link)))
+
+let test_rollback_empty_mark_noop () =
+  let state = Resource_state.create platform in
+  let m = Resource_state.mark state in
+  (* Nothing reserved since the mark: rollback must be a no-op. *)
+  Resource_state.rollback state m;
+  Resource_state.rollback state m;
+  Alcotest.(check int) "still empty" 0 (busy_count state 0)
+
+let test_nested_marks () =
+  let state = Resource_state.create platform in
+  Resource_state.reserve_pe state ~pe:0 (iv 0. 1.);
+  let outer = Resource_state.mark state in
+  Resource_state.reserve_pe state ~pe:0 (iv 1. 2.);
+  let inner = Resource_state.mark state in
+  Resource_state.reserve_pe state ~pe:0 (iv 2. 3.);
+  Resource_state.reserve_pe state ~pe:0 (iv 3. 4.);
+  Resource_state.rollback state inner;
+  Alcotest.(check int) "inner rollback keeps outer reserves" 2 (busy_count state 0);
+  Resource_state.rollback state outer;
+  Alcotest.(check int) "outer rollback keeps pre-mark reserve" 1 (busy_count state 0);
+  Alcotest.(check (float 0.)) "surviving slot is the first one" 1.
+    (Timeline.span (Resource_state.pe_table state 0))
+
+let test_empty_interval_reserves_skip_journal () =
+  let state = Resource_state.create platform in
+  let m = Resource_state.mark state in
+  Resource_state.reserve_pe state ~pe:0 (iv 3. 3.);
+  Resource_state.reserve_link state link (iv 7. 7.);
+  (* Empty intervals are ignored by the tables and must not be
+     journalled: the mark still compares equal and rollback is a no-op
+     rather than an attempt to release a slot that was never stored. *)
+  Resource_state.rollback state m;
+  Resource_state.reserve_pe state ~pe:0 (iv 3. 3.);
+  Resource_state.reserve_pe state ~pe:0 (iv 0. 5.);
+  Resource_state.rollback state m;
+  Alcotest.(check int) "only the real reserve was undone" 0 (busy_count state 0)
+
+let test_rollback_after_outer_rollback_raises () =
+  let state = Resource_state.create platform in
+  let outer = Resource_state.mark state in
+  Resource_state.reserve_pe state ~pe:0 (iv 0. 1.);
+  let inner = Resource_state.mark state in
+  Resource_state.reserve_pe state ~pe:0 (iv 1. 2.);
+  Resource_state.rollback state outer;
+  (* [inner] described a journal suffix that no longer exists; rolling
+     back to it must raise rather than silently release foreign slots. *)
+  Alcotest.(check bool) "stale inner mark raises" true
+    (try
+       Resource_state.rollback state inner;
+       false
+     with Invalid_argument _ -> true)
+
+let test_unknown_mark_raises () =
+  let state = Resource_state.create platform in
+  let other = Resource_state.create platform in
+  Resource_state.reserve_pe state ~pe:0 (iv 0. 1.);
+  Resource_state.reserve_pe other ~pe:0 (iv 0. 1.);
+  let foreign = Resource_state.mark other in
+  Alcotest.(check bool) "foreign mark raises" true
+    (try
+       Resource_state.rollback state foreign;
+       false
+     with Invalid_argument _ -> true)
+
+let test_rollback_interleaved_resources () =
+  (* Rollback releases across PE and link tables in reverse reservation
+     order; interleaving the two must not confuse the journal. *)
+  let state = Resource_state.create platform in
+  let m = Resource_state.mark state in
+  Resource_state.reserve_pe state ~pe:0 (iv 0. 2.);
+  Resource_state.reserve_link state link (iv 0. 2.);
+  Resource_state.reserve_pe state ~pe:0 (iv 2. 4.);
+  Resource_state.reserve_link state link (iv 2. 4.);
+  Resource_state.rollback state m;
+  Alcotest.(check int) "pe clean" 0 (busy_count state 0);
+  Alcotest.(check int) "link clean" 0
+    (List.length (Timeline.busy (Resource_state.link_table state link)));
+  (* The state is reusable afterwards. *)
+  Resource_state.reserve_pe state ~pe:0 (iv 0. 10.);
+  Alcotest.(check (float 0.)) "gap after rollback" 10.
+    (Resource_state.earliest_pe_gap state ~pe:0 ~after:0. ~duration:1.)
+
+let suite =
+  [
+    Alcotest.test_case "rollback to empty mark" `Quick test_rollback_to_empty_mark;
+    Alcotest.test_case "rollback of empty mark is no-op" `Quick
+      test_rollback_empty_mark_noop;
+    Alcotest.test_case "nested marks" `Quick test_nested_marks;
+    Alcotest.test_case "empty-interval reserves skip journal" `Quick
+      test_empty_interval_reserves_skip_journal;
+    Alcotest.test_case "stale mark after outer rollback raises" `Quick
+      test_rollback_after_outer_rollback_raises;
+    Alcotest.test_case "unknown mark raises" `Quick test_unknown_mark_raises;
+    Alcotest.test_case "interleaved PE/link rollback" `Quick
+      test_rollback_interleaved_resources;
+  ]

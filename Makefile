@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json quick-bench examples doc clean
+.PHONY: all build test bench bench-json quick-bench verify examples doc clean
 
 all: build
 
@@ -26,6 +26,12 @@ quick-bench:
 # timeline is less than 5x the reference list implementation.
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_timeline.json
+
+# The full gate CI runs: build, the complete test suite, then the
+# persisted bench gates (timeline regression + the fault-campaign
+# survivability table written to BENCH_faults.json).
+verify: build test bench-json
+	dune exec bench/main.exe -- faults
 
 examples:
 	dune exec examples/quickstart.exe

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- fig5 tab1    # a subset
      dune exec bench/main.exe -- --json BENCH_timeline.json
                                               # persisted bench gate only
-   Experiments: fig5 fig6 tab1 tab2 tab3 fig7 split ablation micro. *)
+   Experiments: fig5 fig6 tab1 tab2 tab3 fig7 split ablation faults micro. *)
 
 let section title =
   Printf.printf "\n================ %s ================\n%!" title
@@ -70,6 +70,19 @@ let repair_moves ~quick =
   let scale = if quick then Some 0.3 else None in
   print_string
     (Noc_experiments.Repair_ablation.render (Noc_experiments.Repair_ablation.run ?scale ()))
+
+let faults ~quick =
+  section "Reliability: Monte-Carlo fault campaign (EAS vs EDF survivability)";
+  let result =
+    if quick then Noc_experiments.Fault_campaign.run ~scale:0.08 ~n_graphs:2 ~n_trials:2 ()
+    else Noc_experiments.Fault_campaign.run ()
+  in
+  print_string (Noc_experiments.Fault_campaign.render result);
+  let file = "BENCH_faults.json" in
+  let oc = open_out file in
+  output_string oc (Noc_experiments.Fault_campaign.to_json result);
+  close_out oc;
+  Printf.printf "wrote %s\n" file
 
 let micro () =
   section "Micro-benchmarks (Bechamel)";
@@ -348,7 +361,7 @@ let () =
   let all =
     [
       "fig5"; "fig6"; "tab1"; "tab2"; "tab3"; "fig7"; "split"; "ablation"; "topo";
-      "weights"; "repairmoves"; "dvs"; "baselines"; "buffering";
+      "weights"; "repairmoves"; "dvs"; "baselines"; "buffering"; "faults";
     ]
   in
   let wanted = if wanted = [] then all else wanted in
@@ -370,6 +383,7 @@ let () =
       | "dvs" -> dvs ()
       | "baselines" -> baselines ()
       | "buffering" -> buffering ()
+      | "faults" -> faults ~quick
       | "micro" -> micro ()
       | other ->
         Printf.eprintf "unknown experiment %S (known: %s micro)\n" other

@@ -231,28 +231,87 @@ let simulate_cmd =
     Arg.(value & flag & info [ "self-timed" ]
            ~doc:"Use work-conserving dispatch instead of the tabled times.")
   in
-  let run spec algo mesh tasks tightness self_timed =
+  let fault_arg =
+    Arg.(value & opt_all string []
+         & info [ "fault" ] ~docv:"SPEC"
+             ~doc:"Inject a fault (repeatable): $(b,pe:N) or $(b,link:A-B), optionally \
+                   windowed as $(b,SPEC\\@FROM:UNTIL) with either bound omitted. \
+                   $(b,pe:2\\@100:) fails PE 2 from t = 100 on; $(b,link:3-7) takes \
+                   the directed link 3->7 down permanently.")
+  in
+  let reschedule_arg =
+    Arg.(value & flag
+         & info [ "reschedule" ]
+             ~doc:"Also run the degraded-platform rescheduler on the injected faults \
+                   and replay its schedule for comparison.")
+  in
+  let criticality_arg =
+    Arg.(value & opt (some int) None
+         & info [ "criticality" ] ~docv:"N"
+             ~doc:"Rank the platform's PEs and links by the deadline misses their \
+                   individual permanent failure would inflict on the schedule; print \
+                   the top N.")
+  in
+  let report label (outcome : Noc_sim.Executor.outcome) =
+    let misses = List.length outcome.Noc_sim.Executor.deadline_misses in
+    let lost = List.length outcome.Noc_sim.Executor.lost_tasks in
+    Format.printf "%s: %d deadline misses, %d lost tasks, blocked %.1f@." label misses
+      lost outcome.Noc_sim.Executor.waiting_time
+  in
+  let run spec algo mesh tasks tightness self_timed fault_specs reschedule criticality =
     let platform, ctg = platform_and_ctg spec ~mesh ~tasks ~tightness in
     let schedule = Noc_experiments.Runner.schedule_of algo platform ctg in
     let discipline =
       if self_timed then Noc_sim.Executor.Self_timed else Noc_sim.Executor.Time_triggered
     in
-    let outcome = Noc_sim.Executor.run ~discipline platform ctg schedule in
-    let planned = Noc_sched.Metrics.compute platform ctg schedule in
-    let realised =
-      Noc_sched.Metrics.compute platform ctg outcome.Noc_sim.Executor.realised
-    in
-    Format.printf "planned : %a@." Noc_sched.Metrics.pp planned;
-    Format.printf "realised: %a@." Noc_sched.Metrics.pp realised;
-    Format.printf "time spent blocked on links: %.1f@."
-      outcome.Noc_sim.Executor.waiting_time;
-    Ok ()
+    match Noc_fault.Fault_set.of_strings fault_specs with
+    | Error msg -> Error (`Msg msg)
+    | Ok faults ->
+      let outcome = Noc_sim.Executor.run ~discipline ~faults platform ctg schedule in
+      let planned = Noc_sched.Metrics.compute platform ctg schedule in
+      Format.printf "planned : %a@." Noc_sched.Metrics.pp planned;
+      if Noc_fault.Fault_set.is_empty faults then begin
+        let realised =
+          Noc_sched.Metrics.compute platform ctg outcome.Noc_sim.Executor.realised
+        in
+        Format.printf "realised: %a@." Noc_sched.Metrics.pp realised;
+        Format.printf "time spent blocked on links: %.1f@."
+          outcome.Noc_sim.Executor.waiting_time
+      end
+      else begin
+        Format.printf "faults  : %a@." Noc_fault.Fault_set.pp faults;
+        report "naive replay" outcome;
+        if reschedule then begin
+          let resched = Noc_eas.Fault_resched.run platform ctg ~faults schedule in
+          let stats = resched.Noc_eas.Fault_resched.stats in
+          Format.printf
+            "rescheduled: %d tasks migrated, %d transactions rerouted%s@."
+            stats.Noc_eas.Fault_resched.migrated_tasks
+            stats.Noc_eas.Fault_resched.rerouted_transactions
+            (if stats.Noc_eas.Fault_resched.used_full_rerun then " (full re-run)"
+             else "");
+          report "rescheduled replay"
+            (Noc_sim.Executor.run ~discipline ~faults platform ctg
+               resched.Noc_eas.Fault_resched.schedule)
+        end
+      end;
+      Option.iter
+        (fun n ->
+          Format.printf "criticality (top %d):@." n;
+          Noc_eas.Fault_resched.criticality ~discipline platform ctg schedule
+          |> List.filteri (fun i _ -> i < n)
+          |> List.iter (fun c ->
+                 Format.printf "  %a@." Noc_eas.Fault_resched.pp_criticality c))
+        criticality;
+      Ok ()
   in
   Cmd.v
-    (Cmd.info "simulate" ~doc:"Replay a schedule on the wormhole executor.")
+    (Cmd.info "simulate"
+       ~doc:"Replay a schedule on the wormhole executor, optionally under injected \
+             faults.")
     Term.(term_result
             (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
-             $ self_timed_arg))
+             $ self_timed_arg $ fault_arg $ reschedule_arg $ criticality_arg))
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -260,7 +319,7 @@ let simulate_cmd =
 let experiment_cmd =
   let which_arg =
     let doc =
-      "Experiment id: fig5, fig6, tab1, tab2, tab3, fig7, split, ablation, topo,        weights, repairmoves, dvs, baselines or buffering."
+      "Experiment id: fig5, fig6, tab1, tab2, tab3, fig7, split, ablation, topo,        weights, repairmoves, dvs, baselines, buffering or faults."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
   in
@@ -328,6 +387,14 @@ let experiment_cmd =
       Ok ()
     | "buffering" ->
       print_string (Noc_experiments.Buffering.render (Noc_experiments.Buffering.run ()));
+      Ok ()
+    | "faults" ->
+      let result =
+        if quick then
+          Noc_experiments.Fault_campaign.run ~scale:0.08 ~n_graphs:2 ~n_trials:2 ()
+        else Noc_experiments.Fault_campaign.run ()
+      in
+      print_string (Noc_experiments.Fault_campaign.render result);
       Ok ()
     | other -> Error (`Msg (Printf.sprintf "unknown experiment %S" other))
   in

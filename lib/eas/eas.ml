@@ -19,14 +19,14 @@ let count_misses ctg schedule =
         else acc)
     0 (Noc_ctg.Ctg.tasks ctg)
 
-let schedule ?(repair = true) ?comm_model ?weighting platform ctg =
+let schedule ?(repair = true) ?comm_model ?degraded ?weighting platform ctg =
   let t0 = Sys.time () in
   let budget = Budget.compute ?weighting ctg in
-  let base = Level_sched.run ?comm_model platform ctg budget in
+  let base = Level_sched.run ?comm_model ?degraded platform ctg budget in
   let misses_before_repair = count_misses ctg base in
   let repaired, repair_stats =
     if repair && misses_before_repair > 0 then
-      let s, st = Repair.run ?comm_model platform ctg base in
+      let s, st = Repair.run ?comm_model ?degraded platform ctg base in
       (s, Some st)
     else (base, None)
   in

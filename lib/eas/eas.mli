@@ -18,6 +18,7 @@ type outcome = { schedule : Noc_sched.Schedule.t; stats : stats }
 val schedule :
   ?repair:bool ->
   ?comm_model:Noc_sched.Comm_sched.model ->
+  ?degraded:Noc_noc.Degraded.t ->
   ?weighting:Budget.weighting ->
   Noc_noc.Platform.t ->
   Noc_ctg.Ctg.t ->
@@ -27,7 +28,13 @@ val schedule :
     [comm_model] defaults to [Contention_aware] (use [Fixed_delay] only
     for the ablation study — the resulting transactions ignore link
     contention); [weighting] (default [Variance_product]) selects the
-    Step 1 slack-weighting scheme for the corresponding ablation. *)
+    Step 1 slack-weighting scheme for the corresponding ablation. With
+    [degraded], the whole pipeline schedules for the degraded platform:
+    failed PEs receive nothing and routes detour around failed links
+    (see {!Level_sched.run} for the failure cases). *)
+
+val count_misses : Noc_ctg.Ctg.t -> Noc_sched.Schedule.t -> int
+(** Number of tasks whose scheduled finish exceeds their deadline. *)
 
 val name : repair:bool -> string
 (** ["EAS"] or ["EAS-base"], as the paper labels the configurations. *)

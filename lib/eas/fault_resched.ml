@@ -1,0 +1,149 @@
+module Schedule = Noc_sched.Schedule
+module Degraded = Noc_noc.Degraded
+module Fault = Noc_fault.Fault
+module Fault_set = Noc_fault.Fault_set
+
+type stats = {
+  migrated_tasks : int;
+  rerouted_transactions : int;
+  misses : int;
+  lateness : float;
+  used_full_rerun : bool;
+  repair : Repair.stats option;
+}
+
+type outcome = { schedule : Schedule.t; stats : stats }
+
+(* Same lexicographic score as the repair search: primarily missed
+   deadlines, refined by total lateness. *)
+let score ctg schedule =
+  Array.fold_left
+    (fun (count, lateness) (task : Noc_ctg.Task.t) ->
+      match task.deadline with
+      | None -> (count, lateness)
+      | Some d ->
+        let late = (Schedule.placement schedule task.id).Schedule.finish -. d in
+        if late > 1e-9 then (count + 1, lateness +. late) else (count, lateness))
+    (0, 0.) (Noc_ctg.Ctg.tasks ctg)
+
+let better (m2, l2) (m1, l1) = m2 < m1 || (m2 = m1 && l2 < l1 -. 1e-6)
+
+let count_rerouted original candidate =
+  let originals = Schedule.transactions original in
+  Array.fold_left
+    (fun acc (tr : Schedule.transaction) ->
+      if tr.route <> originals.(tr.edge).Schedule.route then acc + 1 else acc)
+    0
+    (Schedule.transactions candidate)
+
+let finish ~original ~migrated ~used_full_rerun ~repair schedule ctg =
+  let misses, lateness = score ctg schedule in
+  {
+    schedule;
+    stats =
+      {
+        migrated_tasks = migrated;
+        rerouted_transactions = count_rerouted original schedule;
+        misses;
+        lateness;
+        used_full_rerun;
+        repair;
+      };
+  }
+
+let run ?comm_model ?max_evaluations platform ctg ~faults schedule =
+  let degraded = Fault_set.degraded faults platform in
+  if Degraded.is_trivial degraded then
+    finish ~original:schedule ~migrated:0 ~used_full_rerun:false ~repair:None schedule
+      ctg
+  else begin
+    let n_pes = Noc_noc.Platform.n_pes platform in
+    let assignment, rank = Rebuild.of_schedule schedule in
+    (* Step 1: every task stranded on a failed PE migrates to the
+       cheapest alive destination (same ordering as a GTM move). *)
+    let migrated = ref 0 in
+    Array.iteri
+      (fun i pe ->
+        if not (Degraded.pe_alive degraded pe) then begin
+          let best =
+            List.init n_pes Fun.id
+            |> List.filter (Degraded.pe_alive degraded)
+            |> List.map (fun k ->
+                   (Repair.move_energy ~degraded platform ctg ~assignment i k, k))
+            |> List.sort compare |> List.hd |> snd
+          in
+          assignment.(i) <- best;
+          incr migrated
+        end)
+      (Array.copy assignment);
+    (* Step 2: rebuild on the degraded fabric — surviving placements and
+       the execution order are preserved, failed links are detoured. *)
+    let rebuilt =
+      try Some (Rebuild.run ?comm_model ~degraded platform ctg ~assignment ~rank)
+      with Invalid_argument _ -> None
+    in
+    (* Step 3: if deadlines still miss, run the repair search on the
+       degraded platform; if that is not enough either, fall back to
+       rescheduling from scratch and keep whichever is better. *)
+    let repaired =
+      match rebuilt with
+      | None -> None
+      | Some s ->
+        if fst (score ctg s) = 0 then Some (s, None)
+        else
+          let s', st = Repair.run ?comm_model ~degraded ?max_evaluations platform ctg s in
+          Some (s', Some st)
+    in
+    match repaired with
+    | Some (s, repair) when fst (score ctg s) = 0 ->
+      finish ~original:schedule ~migrated:!migrated ~used_full_rerun:false ~repair s ctg
+    | _ ->
+      let full = (Eas.schedule ?comm_model ~degraded platform ctg).Eas.schedule in
+      (match repaired with
+      | Some (s, repair) when better (score ctg s) (score ctg full) ->
+        finish ~original:schedule ~migrated:!migrated ~used_full_rerun:false ~repair s
+          ctg
+      | _ ->
+        finish ~original:schedule ~migrated:!migrated ~used_full_rerun:true ~repair:None
+          full ctg)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Criticality analysis. *)
+
+type criticality = {
+  element : Fault.element;
+  induced_misses : int;
+  induced_losses : int;
+}
+
+let criticality ?discipline platform ctg schedule =
+  let probe element =
+    let fault =
+      match element with
+      | Fault.Pe i -> Fault.pe i ()
+      | Fault.Link l ->
+        Fault.link ~from_node:l.Noc_noc.Routing.from_node ~to_node:l.to_node ()
+    in
+    let outcome =
+      Noc_sim.Executor.run ?discipline ~faults:(Fault_set.of_list [ fault ]) platform
+        ctg schedule
+    in
+    {
+      element;
+      induced_misses = List.length outcome.Noc_sim.Executor.deadline_misses;
+      induced_losses = List.length outcome.Noc_sim.Executor.lost_tasks;
+    }
+  in
+  let elements =
+    List.init (Noc_noc.Platform.n_pes platform) (fun i -> Fault.Pe i)
+    @ List.map (fun l -> Fault.Link l) (Noc_noc.Platform.all_links platform)
+  in
+  List.map probe elements
+  |> List.sort (fun a b ->
+         let c = compare (b.induced_misses, b.induced_losses) (a.induced_misses, a.induced_losses) in
+         if c <> 0 then c else Fault.compare_element a.element b.element)
+
+let pp_criticality ppf { element; induced_misses; induced_losses } =
+  Format.fprintf ppf "%a: %d missed, %d lost" Fault.pp_element element induced_misses
+    induced_losses

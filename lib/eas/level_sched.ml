@@ -26,10 +26,11 @@ let incoming_pendings ctg partial i =
    transactions and find the earliest execution window. Reservations stay
    in force (the caller brackets the call with mark/rollback, or keeps
    them when committing). *)
-let place ?comm_model ctg partial i k =
+let place ?comm_model ?degraded ctg partial i k =
   let pendings = incoming_pendings ctg partial i in
   let transactions, drt =
-    Comm_sched.schedule_incoming ?model:comm_model partial.state pendings ~dst_pe:k
+    Comm_sched.schedule_incoming ?model:comm_model ?degraded partial.state pendings
+      ~dst_pe:k
   in
   let task = Noc_ctg.Ctg.task ctg i in
   let exec_time = task.Noc_ctg.Task.exec_times.(k) in
@@ -42,32 +43,41 @@ let place ?comm_model ctg partial i k =
   let placement = { Schedule.task = i; pe = k; start; finish = start +. exec_time } in
   (placement, transactions)
 
-let finish_time ?comm_model ctg partial i k =
+let finish_time ?comm_model ?degraded ctg partial i k =
   let mark = Resource_state.mark partial.state in
-  let placement, _ = place ?comm_model ctg partial i k in
-  Resource_state.rollback partial.state mark;
-  placement.Schedule.finish
+  match place ?comm_model ?degraded ctg partial i k with
+  | placement, _ ->
+    Resource_state.rollback partial.state mark;
+    placement.Schedule.finish
+  | exception Invalid_argument _ ->
+    (* The fault set disconnects a predecessor from PE [k]: [k] can
+       never receive the task's inputs. *)
+    Resource_state.rollback partial.state mark;
+    infinity
 
 (* Energy of running [i] on [k]: computation plus communication of the
    already-placed incoming arcs (paper footnote 2). *)
-let assignment_energy platform ctg partial i k =
+let assignment_energy ?degraded platform ctg partial i k =
   let task = Noc_ctg.Ctg.task ctg i in
+  let comm_energy ~src ~dst ~bits =
+    match degraded with
+    | Some view when not (Noc_noc.Degraded.is_trivial view) ->
+      Noc_noc.Degraded.comm_energy view ~src ~dst ~bits
+    | Some _ | None -> Noc_noc.Platform.comm_energy platform ~src ~dst ~bits
+  in
   let comm =
     List.fold_left
       (fun acc (e : Noc_ctg.Edge.t) ->
         match partial.placements.(e.src) with
         | None -> acc
-        | Some p ->
-          acc
-          +. Noc_noc.Platform.comm_energy platform ~src:p.Schedule.pe ~dst:k
-               ~bits:e.volume)
+        | Some p -> acc +. comm_energy ~src:p.Schedule.pe ~dst:k ~bits:e.volume)
       0.
       (Noc_ctg.Ctg.in_edges ctg i)
   in
   task.Noc_ctg.Task.energies.(k) +. comm
 
-let commit ?comm_model ctg partial i k =
-  let placement, transactions = place ?comm_model ctg partial i k in
+let commit ?comm_model ?degraded ctg partial i k =
+  let placement, transactions = place ?comm_model ?degraded ctg partial i k in
   Resource_state.reserve_pe partial.state ~pe:k
     (Noc_util.Interval.make ~start:placement.Schedule.start
        ~stop:placement.Schedule.finish);
@@ -76,9 +86,16 @@ let commit ?comm_model ctg partial i k =
     (fun (tr : Schedule.transaction) -> partial.transactions.(tr.edge) <- Some tr)
     transactions
 
-let run ?comm_model platform ctg (budget : Budget.t) =
+let run ?comm_model ?degraded platform ctg (budget : Budget.t) =
   let n = Noc_ctg.Ctg.n_tasks ctg in
   let n_pes = Noc_noc.Platform.n_pes platform in
+  let pe_alive k =
+    match degraded with
+    | None -> true
+    | Some view -> Noc_noc.Degraded.pe_alive view k
+  in
+  if not (List.exists pe_alive (List.init n_pes Fun.id)) then
+    invalid_arg "Level_sched.run: every PE is failed";
   let partial =
     {
       state = Resource_state.create platform;
@@ -99,7 +116,10 @@ let run ?comm_model platform ctg (budget : Budget.t) =
     let finishes =
       List.map
         (fun i ->
-          (i, Array.init n_pes (fun k -> finish_time ?comm_model ctg partial i k)))
+          ( i,
+            Array.init n_pes (fun k ->
+                if pe_alive k then finish_time ?comm_model ?degraded ctg partial i k
+                else infinity) ))
         rtl
     in
     let bd i = budget.budgeted_deadlines.(i) in
@@ -120,18 +140,25 @@ let run ?comm_model platform ctg (budget : Budget.t) =
               if over > bover then (i, fs, over) else (bi, bfs, bover))
             (List.hd violators) (List.tl violators)
         in
-        (i, Noc_util.Stats.argmin fs)
+        let k = Noc_util.Stats.argmin fs in
+        if fs.(k) = infinity then
+          invalid_arg "Level_sched.run: task unschedulable on the degraded platform";
+        (i, k)
       | [] ->
         (* Rule 4: largest energy regret among deadline-respecting PEs. *)
         let candidates =
           List.map
             (fun (i, fs) ->
               let allowed =
-                List.filter (fun k -> fs.(k) <= bd i) (List.init n_pes Fun.id)
+                List.filter
+                  (fun k -> pe_alive k && fs.(k) <= bd i)
+                  (List.init n_pes Fun.id)
               in
               assert (allowed <> []);
               let energies =
-                List.map (fun k -> (assignment_energy platform ctg partial i k, k)) allowed
+                List.map
+                  (fun k -> (assignment_energy ?degraded platform ctg partial i k, k))
+                  allowed
               in
               let sorted = List.sort compare energies in
               let best_energy, best_pe = List.hd sorted in
@@ -152,7 +179,7 @@ let run ?comm_model platform ctg (budget : Budget.t) =
         in
         (i, k)
     in
-    commit ?comm_model ctg partial chosen_task chosen_pe;
+    commit ?comm_model ?degraded ctg partial chosen_task chosen_pe;
     decr remaining;
     ready := List.filter (fun i -> i <> chosen_task) !ready;
     List.iter

@@ -21,9 +21,14 @@
 
 val run :
   ?comm_model:Noc_sched.Comm_sched.model ->
+  ?degraded:Noc_noc.Degraded.t ->
   Noc_noc.Platform.t ->
   Noc_ctg.Ctg.t ->
   Budget.t ->
   Noc_sched.Schedule.t
 (** Builds a complete schedule (always succeeds; deadlines may be
-    missed, which Step 3 then repairs). *)
+    missed, which Step 3 then repairs). With [degraded], failed PEs
+    receive no tasks and transactions detour around failed links; raises
+    [Invalid_argument] when the fault set makes the graph unschedulable
+    (every PE failed, or a task unreachable from its predecessors on
+    every alive PE). *)

@@ -2,7 +2,7 @@ module Schedule = Noc_sched.Schedule
 module Comm_sched = Noc_sched.Comm_sched
 module Resource_state = Noc_sched.Resource_state
 
-let run ?comm_model platform ctg ~assignment ~rank =
+let run ?comm_model ?degraded platform ctg ~assignment ~rank =
   let n = Noc_ctg.Ctg.n_tasks ctg in
   if Array.length assignment <> n || Array.length rank <> n then
     invalid_arg "Rebuild.run: array length mismatch";
@@ -42,7 +42,9 @@ let run ?comm_model platform ctg ~assignment ~rank =
             })
         (Noc_ctg.Ctg.in_edges ctg i)
     in
-    let placed, drt = Comm_sched.schedule_incoming ?model:comm_model state pendings ~dst_pe:k in
+    let placed, drt =
+      Comm_sched.schedule_incoming ?model:comm_model ?degraded state pendings ~dst_pe:k
+    in
     let task = Noc_ctg.Ctg.task ctg i in
     let exec_time = task.Noc_ctg.Task.exec_times.(k) in
     let available =

@@ -13,6 +13,7 @@
 
 val run :
   ?comm_model:Noc_sched.Comm_sched.model ->
+  ?degraded:Noc_noc.Degraded.t ->
   Noc_noc.Platform.t ->
   Noc_ctg.Ctg.t ->
   assignment:int array ->
@@ -20,7 +21,10 @@ val run :
   Noc_sched.Schedule.t
 (** [assignment.(i)] is the PE of task [i]; [rank.(i)] its priority
     (lower runs earlier among simultaneously-ready tasks). Raises
-    [Invalid_argument] on out-of-range PEs or mismatched lengths. *)
+    [Invalid_argument] on out-of-range PEs or mismatched lengths. With
+    [degraded], transactions detour around failed links (and raise
+    [Invalid_argument] if the fault set disconnects a needed pair); the
+    caller is responsible for assigning tasks only to alive PEs. *)
 
 val of_schedule :
   Noc_sched.Schedule.t -> int array * int array

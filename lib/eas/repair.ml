@@ -52,21 +52,31 @@ let critical_tasks ctg schedule =
   critical
 
 (* Estimated energy of running task [i] on PE [k]: computation plus the
-   communication of every incident arc whose other endpoint is fixed. *)
-let move_energy platform ctg ~assignment i k =
+   communication of every incident arc whose other endpoint is fixed.
+   On a degraded platform, detoured routes are priced by their real
+   length; a pair the fault set disconnects costs [infinity], pushing
+   that destination to the end of the candidate order. *)
+let move_energy ?degraded platform ctg ~assignment i k =
   let task = Noc_ctg.Ctg.task ctg i in
+  let comm_energy ~src ~dst ~bits =
+    match degraded with
+    | Some view when not (Noc_noc.Degraded.is_trivial view) -> (
+      try Noc_noc.Degraded.comm_energy view ~src ~dst ~bits
+      with Invalid_argument _ -> infinity)
+    | Some _ | None -> Noc_noc.Platform.comm_energy platform ~src ~dst ~bits
+  in
   let incident_comm =
     List.fold_left
       (fun acc (e : Noc_ctg.Edge.t) ->
         acc
-        +. Noc_noc.Platform.comm_energy platform ~src:assignment.(e.Noc_ctg.Edge.src)
-             ~dst:k ~bits:e.Noc_ctg.Edge.volume)
+        +. comm_energy ~src:assignment.(e.Noc_ctg.Edge.src) ~dst:k
+             ~bits:e.Noc_ctg.Edge.volume)
       0. (Noc_ctg.Ctg.in_edges ctg i)
     +. List.fold_left
          (fun acc (e : Noc_ctg.Edge.t) ->
            acc
-           +. Noc_noc.Platform.comm_energy platform ~src:k
-                ~dst:assignment.(e.Noc_ctg.Edge.dst) ~bits:e.Noc_ctg.Edge.volume)
+           +. comm_energy ~src:k ~dst:assignment.(e.Noc_ctg.Edge.dst)
+                ~bits:e.Noc_ctg.Edge.volume)
          0. (Noc_ctg.Ctg.out_edges ctg i)
   in
   task.Noc_ctg.Task.energies.(k) +. incident_comm
@@ -82,7 +92,8 @@ let ordered_critical ctg schedule critical =
          let c = Float.compare (finish b) (finish a) in
          if c <> 0 then c else compare a b)
 
-let run ?comm_model ?(max_evaluations = 4_000) ?(moves = Both) platform ctg schedule =
+let run ?comm_model ?degraded ?(max_evaluations = 4_000) ?(moves = Both) platform ctg
+    schedule =
   let n = Noc_ctg.Ctg.n_tasks ctg in
   let n_pes = Noc_noc.Platform.n_pes platform in
   let assignment, rank = Rebuild.of_schedule schedule in
@@ -91,13 +102,20 @@ let run ?comm_model ?(max_evaluations = 4_000) ?(moves = Both) platform ctg sche
   let swaps = ref 0 and migrations = ref 0 and evaluations = ref 0 in
   let rebuild () =
     incr evaluations;
-    Rebuild.run ?comm_model platform ctg ~assignment ~rank
+    (* A move that strands a transaction on a disconnected pair is
+       simply not an improvement. *)
+    try Some (Rebuild.run ?comm_model ?degraded platform ctg ~assignment ~rank)
+    with Invalid_argument _ -> None
   in
   let try_apply mutate restore =
     if !evaluations >= max_evaluations then false
     else begin
       mutate ();
-      let candidate = rebuild () in
+      match rebuild () with
+      | None ->
+        restore ();
+        false
+      | Some candidate ->
       let candidate_score = score ctg candidate in
       if improves candidate_score !best_score then begin
         current := candidate;
@@ -149,10 +167,15 @@ let run ?comm_model ?(max_evaluations = 4_000) ?(moves = Both) platform ctg sche
     let critical = critical_tasks ctg !current in
     let try_critical t1 =
       let home = assignment.(t1) in
+      let pe_alive k =
+        match degraded with
+        | None -> true
+        | Some view -> Noc_noc.Degraded.pe_alive view k
+      in
       let destinations =
         List.init n_pes Fun.id
-        |> List.filter (fun k -> k <> home)
-        |> List.map (fun k -> (move_energy platform ctg ~assignment t1 k, k))
+        |> List.filter (fun k -> k <> home && pe_alive k)
+        |> List.map (fun k -> (move_energy ?degraded platform ctg ~assignment t1 k, k))
         |> List.sort compare
         |> List.map snd
       in

@@ -33,8 +33,24 @@ val critical_tasks : Noc_ctg.Ctg.t -> Noc_sched.Schedule.t -> bool array
 (** [critical_tasks ctg s] marks every task that misses its own deadline
     and every ancestor of such a task. *)
 
+val move_energy :
+  ?degraded:Noc_noc.Degraded.t ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  assignment:int array ->
+  int ->
+  int ->
+  float
+(** [move_energy platform ctg ~assignment i k] estimates the energy of
+    running task [i] on PE [k]: computation on [k] plus communication of
+    every incident arc whose other endpoint is fixed by [assignment].
+    With [degraded], detours are priced by their real length and a
+    disconnected pair costs [infinity]. Orders GTM destinations and
+    {!Fault_resched}'s migrations. *)
+
 val run :
   ?comm_model:Noc_sched.Comm_sched.model ->
+  ?degraded:Noc_noc.Degraded.t ->
   ?max_evaluations:int ->
   ?moves:moves ->
   Noc_noc.Platform.t ->
@@ -44,4 +60,7 @@ val run :
 (** Returns the repaired schedule (the input when nothing helps) and the
     search statistics. [max_evaluations] (default 4000) bounds the
     rebuilds as a safety net; [moves] (default [Both]) restricts the move
-    set for the repair ablation. *)
+    set for the repair ablation. With [degraded], GTM only migrates onto
+    alive PEs, rebuilds detour around failed links, and move energies
+    are priced over the degraded routes — the engine behind
+    {!Fault_resched}. *)

@@ -1,0 +1,110 @@
+type element = Link of Noc_noc.Routing.link | Pe of int
+
+type t = { element : element; from_time : float; until_time : float }
+
+let check_window ~from_time ~until_time =
+  if not (from_time >= 0.) then invalid_arg "Fault: fault cannot start before time 0";
+  if not (until_time > from_time) then
+    invalid_arg "Fault: fault window must be non-empty"
+
+let link ?(from_time = 0.) ?(until_time = infinity) ~from_node ~to_node () =
+  check_window ~from_time ~until_time;
+  if from_node < 0 || to_node < 0 || from_node = to_node then
+    invalid_arg "Fault.link: bad endpoints";
+  { element = Link { from_node; to_node }; from_time; until_time }
+
+let pe ?(from_time = 0.) ?(until_time = infinity) index () =
+  check_window ~from_time ~until_time;
+  if index < 0 then invalid_arg "Fault.pe: negative PE index";
+  { element = Pe index; from_time; until_time }
+
+let is_permanent t = t.until_time = infinity
+let active_at t ~time = t.from_time <= time && time < t.until_time
+
+(* Element ordering groups PEs before links; the total order makes fault
+   sets canonical. *)
+let compare_element a b =
+  match (a, b) with
+  | Pe i, Pe j -> compare i j
+  | Pe _, Link _ -> -1
+  | Link _, Pe _ -> 1
+  | Link x, Link y ->
+    compare (x.Noc_noc.Routing.from_node, x.to_node) (y.Noc_noc.Routing.from_node, y.to_node)
+
+let compare a b =
+  let c = compare_element a.element b.element in
+  if c <> 0 then c else Stdlib.compare (a.from_time, a.until_time) (b.from_time, b.until_time)
+
+(* ------------------------------------------------------------------ *)
+(* Text syntax: "pe:2", "link:3-7", optionally "@FROM:UNTIL" with either
+   bound omitted — "pe:2@100:" fails PE 2 from t=100 on, "link:3-7@10:20"
+   takes the link down during [10, 20). *)
+
+let float_to_string v =
+  let short = Printf.sprintf "%.12g" v in
+  if float_of_string short = v then short else Printf.sprintf "%.17g" v
+
+let window_to_string t =
+  if t.from_time = 0. && t.until_time = infinity then ""
+  else
+    Printf.sprintf "@%s:%s"
+      (if t.from_time = 0. then "" else float_to_string t.from_time)
+      (if t.until_time = infinity then "" else float_to_string t.until_time)
+
+let to_string t =
+  (match t.element with
+  | Pe i -> Printf.sprintf "pe:%d" i
+  | Link l -> Printf.sprintf "link:%d-%d" l.Noc_noc.Routing.from_node l.to_node)
+  ^ window_to_string t
+
+let parse_window spec =
+  match String.index_opt spec '@' with
+  | None -> Ok (spec, 0., infinity)
+  | Some at ->
+    let body = String.sub spec 0 at in
+    let window = String.sub spec (at + 1) (String.length spec - at - 1) in
+    (match String.split_on_char ':' window with
+    | [ from_s; until_s ] ->
+      let bound s default =
+        if s = "" then Ok default
+        else
+          match float_of_string_opt s with
+          | Some v -> Ok v
+          | None -> Error (Printf.sprintf "bad time %S" s)
+      in
+      (match (bound from_s 0., bound until_s infinity) with
+      | Ok f, Ok u ->
+        if f >= 0. && u > f then Ok (body, f, u)
+        else Error "fault window must be non-empty and start at t >= 0"
+      | Error e, _ | _, Error e -> Error e)
+    | [ _ ] | [] | _ ->
+      Error (Printf.sprintf "bad fault window %S (want @FROM:UNTIL)" window))
+
+let of_string spec =
+  match parse_window (String.trim spec) with
+  | Error _ as e -> e
+  | Ok (body, from_time, until_time) -> (
+    match String.split_on_char ':' body with
+    | [ "pe"; index ] -> (
+      match int_of_string_opt index with
+      | Some i when i >= 0 -> Ok { element = Pe i; from_time; until_time }
+      | Some _ | None -> Error (Printf.sprintf "bad PE index %S" index))
+    | [ "link"; ends ] -> (
+      match String.split_on_char '-' ends with
+      | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some from_node, Some to_node when from_node >= 0 && to_node >= 0 && from_node <> to_node
+          ->
+          Ok { element = Link { from_node; to_node }; from_time; until_time }
+        | _ -> Error (Printf.sprintf "bad link endpoints %S" ends))
+      | _ -> Error (Printf.sprintf "bad link endpoints %S (want A-B)" ends))
+    | _ ->
+      Error
+        (Printf.sprintf "bad fault %S (want pe:N or link:A-B, optionally @FROM:UNTIL)"
+           spec))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let pp_element ppf = function
+  | Pe i -> Format.fprintf ppf "pe %d" i
+  | Link l -> Format.fprintf ppf "link %a" Noc_noc.Routing.pp_link l

@@ -74,6 +74,22 @@ let comm_duration t ~src ~dst ~bits =
     (bits /. t.link_bandwidth)
     +. (float_of_int (hops t ~src ~dst - 1) *. t.router_latency)
 
+(* Duration and energy of a transaction over an explicit route, used for
+   detour routes on degraded platforms. A route of [h] nodes has the
+   same cost as a deterministic route with [h] hops, so for the
+   platform's own routes these agree with [comm_duration] and
+   [comm_energy] exactly. *)
+let route_hops nodes = match nodes with [] | [ _ ] -> 0 | _ :: _ -> List.length nodes
+
+let route_duration t ~route ~bits =
+  assert (bits >= 0.);
+  match route_hops route with
+  | 0 -> 0.
+  | h -> (bits /. t.link_bandwidth) +. (float_of_int (h - 1) *. t.router_latency)
+
+let route_energy t ~route ~bits =
+  Energy_model.transfer_energy t.energy ~n_hops:(route_hops route) ~bits
+
 let all_links t = Routing.all_links t.topology
 
 let heterogeneous ?(seed = 0) topology () =

@@ -57,6 +57,19 @@ val comm_duration : t -> src:int -> dst:int -> bits:float -> float
     router latency the serialisation delay dominates and is independent
     of hop count, matching the paper's single path reservation. *)
 
+val route_hops : int list -> int
+(** Hop count of an explicit route: the number of routers visited, [0]
+    for a same-tile route ([[]] or [[p]]). For the platform's own routes
+    this equals {!hops}. *)
+
+val route_duration : t -> route:int list -> bits:float -> float
+(** Like {!comm_duration} but over an explicit (possibly detour) route:
+    the cost depends only on the route's length, so for the platform's
+    deterministic routes the two agree exactly. *)
+
+val route_energy : t -> route:int list -> bits:float -> float
+(** Like {!comm_energy} over an explicit route. *)
+
 val all_links : t -> Routing.link list
 
 (** {1 Deterministic heterogeneous presets} *)

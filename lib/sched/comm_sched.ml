@@ -2,7 +2,7 @@ type model = Contention_aware | Fixed_delay
 
 type pending = { edge : int; src_pe : int; sender_finish : float; bits : float }
 
-let place ?(model = Contention_aware) state pending ~dst_pe =
+let place ?(model = Contention_aware) ?degraded state pending ~dst_pe =
   let platform = Resource_state.platform state in
   let src_pe = pending.src_pe in
   if src_pe = dst_pe then
@@ -15,12 +15,21 @@ let place ?(model = Contention_aware) state pending ~dst_pe =
       finish = pending.sender_finish;
     }
   else begin
-    (* Both hit the platform's memoized route table. *)
-    let route_nodes = Noc_noc.Platform.route platform ~src:src_pe ~dst:dst_pe in
-    let links = Noc_noc.Platform.route_links platform ~src:src_pe ~dst:dst_pe in
-    let duration =
-      Noc_noc.Platform.comm_duration platform ~src:src_pe ~dst:dst_pe
-        ~bits:pending.bits
+    (* Both hit the platform's (or degraded view's) memoized route
+       table. On a degraded platform, detours around failed links are
+       taken and priced by their real length. *)
+    let route_nodes, links, duration =
+      match degraded with
+      | Some view when not (Noc_noc.Degraded.is_trivial view) ->
+        ( Noc_noc.Degraded.route view ~src:src_pe ~dst:dst_pe,
+          Noc_noc.Degraded.route_links view ~src:src_pe ~dst:dst_pe,
+          Noc_noc.Degraded.comm_duration view ~src:src_pe ~dst:dst_pe
+            ~bits:pending.bits )
+      | Some _ | None ->
+        ( Noc_noc.Platform.route platform ~src:src_pe ~dst:dst_pe,
+          Noc_noc.Platform.route_links platform ~src:src_pe ~dst:dst_pe,
+          Noc_noc.Platform.comm_duration platform ~src:src_pe ~dst:dst_pe
+            ~bits:pending.bits )
     in
     let start =
       match model with
@@ -44,7 +53,7 @@ let place ?(model = Contention_aware) state pending ~dst_pe =
     }
   end
 
-let schedule_incoming ?(model = Contention_aware) state lct ~dst_pe =
+let schedule_incoming ?(model = Contention_aware) ?degraded state lct ~dst_pe =
   let sorted =
     List.sort
       (fun a b ->
@@ -52,7 +61,7 @@ let schedule_incoming ?(model = Contention_aware) state lct ~dst_pe =
         if c <> 0 then c else compare a.edge b.edge)
       lct
   in
-  let placed = List.map (fun p -> place ~model state p ~dst_pe) sorted in
+  let placed = List.map (fun p -> place ~model ?degraded state p ~dst_pe) sorted in
   let drt =
     List.fold_left (fun acc tr -> Float.max acc tr.Schedule.finish) 0. placed
   in

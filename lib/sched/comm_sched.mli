@@ -27,16 +27,21 @@ type pending = {
 
 val place :
   ?model:model ->
+  ?degraded:Noc_noc.Degraded.t ->
   Resource_state.t ->
   pending ->
   dst_pe:int ->
   Schedule.transaction
 (** Schedules a single transaction towards [dst_pe] (default model
     [Contention_aware]). Same-tile transactions complete instantaneously
-    at the sender's finish and reserve nothing. *)
+    at the sender's finish and reserve nothing. With [degraded], routes,
+    durations and link reservations follow the degraded view's detours
+    around failed links; raises [Invalid_argument] when the fault set
+    disconnects the pair. *)
 
 val schedule_incoming :
   ?model:model ->
+  ?degraded:Noc_noc.Degraded.t ->
   Resource_state.t ->
   pending list ->
   dst_pe:int ->

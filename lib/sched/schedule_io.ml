@@ -5,7 +5,7 @@ let float_to_string v =
 let to_string schedule =
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "schedule 1\n";
+  add "schedule 2\n";
   Array.iter
     (fun (p : Schedule.placement) ->
       add "place %d pe %d start %s finish %s\n" p.task p.pe (float_to_string p.start)
@@ -13,8 +13,9 @@ let to_string schedule =
     (Schedule.placements schedule);
   Array.iter
     (fun (tr : Schedule.transaction) ->
-      add "trans %d start %s finish %s\n" tr.edge (float_to_string tr.start)
-        (float_to_string tr.finish))
+      add "trans %d via %s start %s finish %s\n" tr.edge
+        (String.concat "," (List.map string_of_int tr.route))
+        (float_to_string tr.start) (float_to_string tr.finish))
     (Schedule.transactions schedule);
   Buffer.contents buf
 
@@ -32,6 +33,10 @@ let parse_int line what s =
   | Some v -> v
   | None -> fail line "%s: not an integer (%S)" what s
 
+let parse_route line s =
+  String.split_on_char ',' s
+  |> List.map (fun w -> parse_int line "route node" w)
+
 let of_string platform ctg text =
   let n = Noc_ctg.Ctg.n_tasks ctg and m = Noc_ctg.Ctg.n_edges ctg in
   let placements : Schedule.placement option array = Array.make n None in
@@ -48,9 +53,31 @@ let of_string platform ctg text =
           |> String.split_on_char ' '
           |> List.filter (fun w -> w <> "")
         in
+        let add_transaction edge_id ~route ~start ~finish =
+          if edge_id < 0 || edge_id >= m then fail line_no "unknown edge %d" edge_id;
+          if transactions.(edge_id) <> None then
+            fail line_no "duplicate transaction %d" edge_id;
+          let e = Noc_ctg.Ctg.edge ctg edge_id in
+          let src_placement = placements.(e.Noc_ctg.Edge.src) in
+          let dst_placement = placements.(e.Noc_ctg.Edge.dst) in
+          match (src_placement, dst_placement) with
+          | Some sp, Some dp ->
+            let src_pe = sp.Schedule.pe and dst_pe = dp.Schedule.pe in
+            let route =
+              (* Version-1 files carry no routes: re-derive the
+                 platform's deterministic one. *)
+              match route with
+              | Some route -> route
+              | None -> Noc_noc.Platform.route platform ~src:src_pe ~dst:dst_pe
+            in
+            transactions.(edge_id) <-
+              Some { Schedule.edge = edge_id; src_pe; dst_pe; route; start; finish }
+          | None, _ | _, None ->
+            fail line_no "transaction %d before both endpoint placements" edge_id
+        in
         match words with
         | [] -> ()
-        | [ "schedule"; "1" ] -> version_seen := true
+        | [ "schedule"; ("1" | "2") ] -> version_seen := true
         | [ "place"; task; "pe"; pe; "start"; start; "finish"; finish ] ->
           let task = parse_int line_no "task" task in
           if task < 0 || task >= n then fail line_no "unknown task %d" task;
@@ -64,31 +91,20 @@ let of_string platform ctg text =
                 finish = parse_float line_no "finish" finish;
               }
         | [ "trans"; edge; "start"; start; "finish"; finish ] ->
-          let edge_id = parse_int line_no "edge" edge in
-          if edge_id < 0 || edge_id >= m then fail line_no "unknown edge %d" edge_id;
-          if transactions.(edge_id) <> None then
-            fail line_no "duplicate transaction %d" edge_id;
-          let e = Noc_ctg.Ctg.edge ctg edge_id in
-          let src_placement = placements.(e.Noc_ctg.Edge.src) in
-          let dst_placement = placements.(e.Noc_ctg.Edge.dst) in
-          (match (src_placement, dst_placement) with
-          | Some sp, Some dp ->
-            let src_pe = sp.Schedule.pe and dst_pe = dp.Schedule.pe in
-            transactions.(edge_id) <-
-              Some
-                {
-                  Schedule.edge = edge_id;
-                  src_pe;
-                  dst_pe;
-                  route = Noc_noc.Platform.route platform ~src:src_pe ~dst:dst_pe;
-                  start = parse_float line_no "start" start;
-                  finish = parse_float line_no "finish" finish;
-                }
-          | None, _ | _, None ->
-            fail line_no "transaction %d before both endpoint placements" edge_id)
+          add_transaction
+            (parse_int line_no "edge" edge)
+            ~route:None
+            ~start:(parse_float line_no "start" start)
+            ~finish:(parse_float line_no "finish" finish)
+        | [ "trans"; edge; "via"; route; "start"; start; "finish"; finish ] ->
+          add_transaction
+            (parse_int line_no "edge" edge)
+            ~route:(Some (parse_route line_no route))
+            ~start:(parse_float line_no "start" start)
+            ~finish:(parse_float line_no "finish" finish)
         | keyword :: _ -> fail line_no "unknown keyword %S" keyword)
       (String.split_on_char '\n' text);
-    if not !version_seen then Error "missing header line (schedule 1)"
+    if not !version_seen then Error "missing header line (schedule 1 or schedule 2)"
     else begin
       Array.iteri
         (fun i p -> if p = None then raise (Parse_error (0, Printf.sprintf "task %d missing" i)))

@@ -3,15 +3,16 @@
     A schedule is stored as one line per placement and per transaction:
 
     {v
-    schedule 1
+    schedule 2
     place <task> pe <pe> start <t> finish <t>
-    trans <edge> start <t> finish <t>
+    trans <edge> via <n0>,<n1>,... start <t> finish <t>
     v}
 
-    Routes are not stored: they are a function of the platform and the
-    endpoint PEs, so {!of_string} recomputes them (and therefore needs
-    the platform and the graph, which also let it re-derive each
-    transaction's endpoints). Floats round-trip exactly. *)
+    The [via] field records the transaction's route verbatim, so
+    detour-routed schedules produced for degraded platforms round-trip
+    exactly. {!of_string} also accepts the legacy version-1 format
+    (header [schedule 1], no [via] field), re-deriving each route as the
+    platform's deterministic one. Floats round-trip exactly. *)
 
 val to_string : Schedule.t -> string
 

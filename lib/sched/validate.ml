@@ -17,7 +17,44 @@ let pp_violation ppf = function
   | Deadline_miss { task; deadline; finish } ->
     Format.fprintf ppf "task %d finishes at %g, deadline %g" task finish deadline
 
-let structural_checks ~eps platform ctg schedule add =
+(* A transaction's recorded route must be a real walk through the
+   fabric: it starts at the sender's tile, ends at the receiver's, moves
+   only along topology links and reserves no link twice. The walk need
+   NOT be the platform's deterministic route — degraded-platform
+   reschedules legitimately record detours — unless the caller opts into
+   [strict_routes]. *)
+let route_walk_error platform (tr : Schedule.transaction) =
+  let topology = Noc_noc.Platform.topology platform in
+  match tr.route with
+  | [] -> Some "has an empty route"
+  | [ p ] ->
+    if tr.src_pe <> tr.dst_pe then Some "has a single-node route between distinct tiles"
+    else if p <> tr.src_pe then Some "same-tile route names the wrong tile"
+    else None
+  | first :: _ :: _ ->
+    if tr.src_pe = tr.dst_pe then Some "same-tile transaction records a multi-hop route"
+    else if first <> tr.src_pe then Some "route does not start at the sender's tile"
+    else begin
+      let rec last = function [ x ] -> x | _ :: rest -> last rest | [] -> assert false in
+      if last tr.route <> tr.dst_pe then Some "route does not end at the receiver's tile"
+      else begin
+        let links = Noc_noc.Routing.links_of_route tr.route in
+        if
+          not
+            (List.for_all
+               (fun (l : Noc_noc.Routing.link) ->
+                 Noc_noc.Topology.are_neighbours topology l.from_node l.to_node)
+               links)
+        then Some "route uses a non-existent link"
+        else if
+          List.length (List.sort_uniq compare (List.map (fun (l : Noc_noc.Routing.link) -> (l.from_node, l.to_node)) links))
+          <> List.length links
+        then Some "route reserves a link twice"
+        else None
+      end
+    end
+
+let structural_checks ~eps ~strict_routes platform ctg schedule add =
   let n_pes = Noc_noc.Platform.n_pes platform in
   let malformed fmt = Printf.ksprintf (fun s -> add (Malformed s)) fmt in
   if Schedule.n_tasks schedule <> Noc_ctg.Ctg.n_tasks ctg then
@@ -52,13 +89,18 @@ let structural_checks ~eps platform ctg schedule add =
           if tr.dst_pe <> dst_place.pe then
             malformed "transaction %d arrives at pe %d, receiver runs on pe %d"
               tr.edge tr.dst_pe dst_place.pe;
-          let expected_route =
-            Noc_noc.Platform.route platform ~src:tr.src_pe ~dst:tr.dst_pe
-          in
-          if tr.route <> expected_route then
+          (match route_walk_error platform tr with
+          | Some detail -> malformed "transaction %d %s" tr.edge detail
+          | None -> ());
+          if
+            strict_routes
+            && tr.route <> Noc_noc.Platform.route platform ~src:tr.src_pe ~dst:tr.dst_pe
+          then
             malformed "transaction %d does not follow the deterministic route" tr.edge;
+          (* Duration follows from the recorded route's length, so a
+             detour pays its extra router hops. *)
           let expected_duration =
-            Noc_noc.Platform.comm_duration platform ~src:tr.src_pe ~dst:tr.dst_pe
+            Noc_noc.Platform.route_duration platform ~route:tr.route
               ~bits:edge.Noc_ctg.Edge.volume
           in
           if not (Noc_util.Stats.fequal ~eps (tr.finish -. tr.start) expected_duration)
@@ -162,10 +204,10 @@ let deadline_checks ~eps ctg schedule add =
           add (Deadline_miss { task = task.id; deadline; finish = p.finish }))
     (Noc_ctg.Ctg.tasks ctg)
 
-let check ?(eps = 1e-6) platform ctg schedule =
+let check ?(eps = 1e-6) ?(strict_routes = false) platform ctg schedule =
   let acc = ref [] in
   let add v = acc := v :: !acc in
-  structural_checks ~eps platform ctg schedule add;
+  structural_checks ~eps ~strict_routes platform ctg schedule add;
   (* Pairwise checks only make sense on structurally sound schedules. *)
   if !acc = [] then begin
     task_compatibility ~eps platform schedule add;
@@ -175,4 +217,5 @@ let check ?(eps = 1e-6) platform ctg schedule =
   end;
   List.rev !acc
 
-let is_feasible ?eps platform ctg schedule = check ?eps platform ctg schedule = []
+let is_feasible ?eps ?strict_routes platform ctg schedule =
+  check ?eps ?strict_routes platform ctg schedule = []

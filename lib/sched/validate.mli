@@ -13,8 +13,14 @@
       each incoming transaction arrives);
     - every specified deadline is met;
     - placements and transactions are structurally consistent with the
-      CTG and the platform (durations match the cost tables and the
-      bandwidth, routes are the platform's deterministic routes, ...).
+      CTG and the platform: durations match the cost tables and the
+      bandwidth, and every recorded route is a real walk through the
+      fabric (starts at the sender's tile, ends at the receiver's, moves
+      only along topology links, reserves no link twice). Routes are
+      checked against the {e schedule's recorded links}, not recomputed
+      deterministic routes, so detour-routed schedules produced for
+      degraded platforms validate; pass [~strict_routes:true] to
+      additionally require the platform's deterministic routing policy.
 
     The validator shares no code with the schedulers' internal
     book-keeping, so it catches scheduler bugs rather than reproducing
@@ -28,11 +34,23 @@ type violation =
   | Deadline_miss of { task : int; deadline : float; finish : float }
 
 val check :
-  ?eps:float -> Noc_noc.Platform.t -> Noc_ctg.Ctg.t -> Schedule.t -> violation list
+  ?eps:float ->
+  ?strict_routes:bool ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  Schedule.t ->
+  violation list
 (** All violations found, deterministically ordered. [eps] defaults to
-    [1e-6]. *)
+    [1e-6]. [strict_routes] (default [false]) additionally rejects any
+    transaction whose route differs from the platform's deterministic
+    route — the fault-free routing-policy check. *)
 
 val is_feasible :
-  ?eps:float -> Noc_noc.Platform.t -> Noc_ctg.Ctg.t -> Schedule.t -> bool
+  ?eps:float ->
+  ?strict_routes:bool ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  Schedule.t ->
+  bool
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -1,4 +1,5 @@
 module Schedule = Noc_sched.Schedule
+module Fault_set = Noc_fault.Fault_set
 
 type discipline = Time_triggered | Self_timed
 
@@ -10,11 +11,15 @@ type state = {
   platform : Noc_noc.Platform.t;
   ctg : Noc_ctg.Ctg.t;
   discipline : discipline;
+  faults : Fault_set.t;
   assignment : int array;
+  routes : int list array;  (* the schedule's recorded route per edge *)
   planned_task_start : float array;
   planned_tr_start : float array;
   pe_queues : int list array;  (* remaining issue order per PE *)
   pe_busy : bool array;
+  running : int option array;  (* task currently executing per PE *)
+  killed : bool array;  (* tasks lost to a PE fault mid-execution *)
   link_busy : bool array;  (* indexed src * n + dst *)
   inputs_remaining : int array;
   mutable pending : pending list;  (* sorted by (eligible, edge) *)
@@ -47,17 +52,11 @@ let insert_pending st p ~time =
   (* A future release needs a wake-up, or the grant pass never sees it. *)
   if p.eligible > time then Event_queue.push st.events ~time:p.eligible Wake
 
-let edge_route st e =
-  let edge = Noc_ctg.Ctg.edge st.ctg e in
-  let src_pe = st.assignment.(edge.Noc_ctg.Edge.src)
-  and dst_pe = st.assignment.(edge.Noc_ctg.Edge.dst) in
-  Noc_noc.Platform.route st.platform ~src:src_pe ~dst:dst_pe
+let edge_route st e = st.routes.(e)
 
 let edge_duration st e =
   let edge = Noc_ctg.Ctg.edge st.ctg e in
-  let src_pe = st.assignment.(edge.Noc_ctg.Edge.src)
-  and dst_pe = st.assignment.(edge.Noc_ctg.Edge.dst) in
-  Noc_noc.Platform.comm_duration st.platform ~src:src_pe ~dst:dst_pe
+  Noc_noc.Platform.route_duration st.platform ~route:st.routes.(e)
     ~bits:edge.Noc_ctg.Edge.volume
 
 let deliver st e =
@@ -65,16 +64,37 @@ let deliver st e =
   st.inputs_remaining.(edge.Noc_ctg.Edge.dst) <-
     st.inputs_remaining.(edge.Noc_ctg.Edge.dst) - 1
 
+(* A PE fault strikes mid-execution: the task in flight is lost. Its
+   scheduled [Task_finished] event stays in the queue but is ignored. *)
+let kill_faulted_work st ~time =
+  Array.iteri
+    (fun pe task ->
+      match task with
+      | Some t when Fault_set.pe_failed_at st.faults ~pe ~time ->
+        st.killed.(t) <- true;
+        st.running.(pe) <- None;
+        st.pe_busy.(pe) <- false;
+        st.task_finish.(t) <- nan
+      | Some _ | None -> ())
+    st.running
+
 (* One pass of the dispatch rules at the current instant; returns true
    when something started (so the caller loops to a fixpoint). *)
 let try_dispatch st ~time =
   let started = ref false in
-  (* Grant eligible transactions first-come-first-served. *)
+  (* Grant eligible transactions first-come-first-served. A transaction
+     cannot enter a route any of whose links is currently failed; it
+     stalls in the sender's buffer until the fault clears (never, for a
+     permanent fault). A transaction already in flight when a link fails
+     is not torn down — faults gate entry, a wormhole simplification. *)
   let still_pending =
     List.filter
       (fun p ->
         let links = Noc_noc.Routing.links_of_route (edge_route st p.edge) in
-        if p.eligible <= time && route_free st links then begin
+        if
+          p.eligible <= time && route_free st links
+          && not (Fault_set.route_failed_at st.faults ~links ~time)
+        then begin
           set_route st links true;
           let duration = edge_duration st p.edge in
           st.tr_start.(p.edge) <- time;
@@ -90,10 +110,15 @@ let try_dispatch st ~time =
       st.pending
   in
   st.pending <- still_pending;
-  (* Issue PE queue heads whose inputs have all arrived. *)
+  (* Issue PE queue heads whose inputs have all arrived. A failed PE
+     issues nothing while its fault is active; recovery is retried at
+     the fault-window boundaries (wake events pushed up front). *)
   for pe = 0 to Noc_noc.Platform.n_pes st.platform - 1 do
     match st.pe_queues.(pe) with
-    | head :: rest when (not st.pe_busy.(pe)) && st.inputs_remaining.(head) = 0 ->
+    | head :: rest
+      when (not st.pe_busy.(pe))
+           && st.inputs_remaining.(head) = 0
+           && not (Fault_set.pe_failed_at st.faults ~pe ~time) ->
       let task_release =
         match (Noc_ctg.Ctg.task st.ctg head).Noc_ctg.Task.release with
         | None -> time
@@ -108,6 +133,7 @@ let try_dispatch st ~time =
       else begin
         st.pe_queues.(pe) <- rest;
         st.pe_busy.(pe) <- true;
+        st.running.(pe) <- Some head;
         let exec = (Noc_ctg.Ctg.task st.ctg head).Noc_ctg.Task.exec_times.(pe) in
         st.task_start.(head) <- time;
         st.task_finish.(head) <- time +. exec;
@@ -124,9 +150,12 @@ type outcome = {
   realised : Noc_sched.Schedule.t;
   waiting_time : float;
   edge_waiting : float array;
+  lost_tasks : int list;
+  deadline_misses : int list;
 }
 
-let run ?(discipline = Time_triggered) platform ctg schedule =
+let run ?(discipline = Time_triggered) ?(faults = Fault_set.empty) platform ctg schedule
+    =
   let n = Noc_ctg.Ctg.n_tasks ctg in
   let n_pes = Noc_noc.Platform.n_pes platform in
   let assignment = Array.init n (fun i -> (Schedule.placement schedule i).Schedule.pe) in
@@ -135,7 +164,12 @@ let run ?(discipline = Time_triggered) platform ctg schedule =
       platform;
       ctg;
       discipline;
+      faults;
       assignment;
+      routes =
+        Array.init
+          (Noc_ctg.Ctg.n_edges ctg)
+          (fun e -> (Schedule.transaction schedule e).Schedule.route);
       planned_task_start =
         Array.init n (fun i -> (Schedule.placement schedule i).Schedule.start);
       planned_tr_start =
@@ -148,6 +182,8 @@ let run ?(discipline = Time_triggered) platform ctg schedule =
               (fun (p : Schedule.placement) -> p.task)
               (Schedule.tasks_on_pe schedule ~pe));
       pe_busy = Array.make n_pes false;
+      running = Array.make n_pes None;
+      killed = Array.make n false;
       link_busy = Array.make (n_pes * n_pes) false;
       inputs_remaining = Array.init n (fun i -> List.length (Noc_ctg.Ctg.preds ctg i));
       pending = [];
@@ -161,15 +197,24 @@ let run ?(discipline = Time_triggered) platform ctg schedule =
       finished_tasks = 0;
     }
   in
+  (* Fault-window edges are the instants at which stalled work must be
+     re-examined: a recovering link can grant, a recovering PE can
+     issue, an onset must kill the task in flight. *)
+  List.iter
+    (fun boundary -> Event_queue.push st.events ~time:boundary Wake)
+    (Fault_set.boundaries faults);
   dispatch_fixpoint st ~time:0.;
   let rec loop () =
     match Event_queue.pop st.events with
     | None -> ()
     | Some (time, event) ->
+      kill_faulted_work st ~time;
       (match event with
+      | Task_finished t when st.killed.(t) -> ()
       | Task_finished t ->
         st.finished_tasks <- st.finished_tasks + 1;
         st.pe_busy.(assignment.(t)) <- false;
+        st.running.(assignment.(t)) <- None;
         List.iter
           (fun (e : Noc_ctg.Edge.t) ->
             let dst_pe = assignment.(e.dst) in
@@ -196,14 +241,15 @@ let run ?(discipline = Time_triggered) platform ctg schedule =
       loop ()
   in
   loop ();
-  assert (st.finished_tasks = n);
+  if Fault_set.is_empty faults then assert (st.finished_tasks = n);
+  let finite v = if Float.is_nan v then infinity else v in
   let placements =
     Array.init n (fun i ->
         {
           Schedule.task = i;
           pe = assignment.(i);
-          start = st.task_start.(i);
-          finish = st.task_finish.(i);
+          start = finite st.task_start.(i);
+          finish = finite st.task_finish.(i);
         })
   in
   let transactions =
@@ -214,12 +260,29 @@ let run ?(discipline = Time_triggered) platform ctg schedule =
           src_pe = assignment.(edge.Noc_ctg.Edge.src);
           dst_pe = assignment.(edge.Noc_ctg.Edge.dst);
           route = edge_route st e;
-          start = st.tr_start.(e);
-          finish = st.tr_finish.(e);
+          start = finite st.tr_start.(e);
+          finish = finite st.tr_finish.(e);
         })
+  in
+  let lost_tasks =
+    List.filter
+      (fun i -> Float.is_nan st.task_finish.(i))
+      (List.init n Fun.id)
+  in
+  let deadline_misses =
+    List.filter
+      (fun i ->
+        match (Noc_ctg.Ctg.task ctg i).Noc_ctg.Task.deadline with
+        | None -> false
+        | Some deadline ->
+          let f = st.task_finish.(i) in
+          Float.is_nan f || f > deadline +. 1e-9)
+      (List.init n Fun.id)
   in
   {
     realised = Schedule.make ~placements ~transactions;
     waiting_time = st.waiting_time;
     edge_waiting = st.edge_waiting;
+    lost_tasks;
+    deadline_misses;
   }

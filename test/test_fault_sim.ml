@@ -1,0 +1,135 @@
+(* Fault-aware execution semantics of Noc_sim.Executor: transient link
+   faults stall transactions until recovery (exact timing), permanent PE
+   faults lose work and miss deadlines, fault onsets kill in-flight
+   tasks, and the empty fault set reproduces fault-free replay. *)
+
+module Schedule = Noc_sched.Schedule
+module Executor = Noc_sim.Executor
+module Fault_set = Noc_fault.Fault_set
+module Platform = Noc_noc.Platform
+
+let platform =
+  Platform.make
+    ~topology:(Noc_noc.Topology.mesh ~cols:2 ~rows:2)
+    ~pes:(Array.init 4 (fun index -> Noc_noc.Pe.of_kind ~index Noc_noc.Pe.Dsp))
+    ~link_bandwidth:100. ()
+
+(* One producer/consumer pair: t0 (pe 0, [0, 10]) sends 500 bits over
+   route 0-1-3 ([10, 15]) to t1 (pe 3, [15, 25], deadline 100). *)
+let ctg =
+  let b = Noc_ctg.Builder.create ~n_pes:4 in
+  let t0 = Noc_ctg.Builder.add_uniform_task b ~time:10. ~energy:1. () in
+  let t1 =
+    Noc_ctg.Builder.add_uniform_task b ~time:10. ~energy:1. ~deadline:100. ()
+  in
+  Noc_ctg.Builder.connect b ~src:t0 ~dst:t1 ~volume:500.;
+  Noc_ctg.Builder.build_exn b
+
+let schedule () =
+  Schedule.make
+    ~placements:
+      [|
+        { Schedule.task = 0; pe = 0; start = 0.; finish = 10. };
+        { Schedule.task = 1; pe = 3; start = 15.; finish = 25. };
+      |]
+    ~transactions:
+      [|
+        {
+          Schedule.edge = 0;
+          src_pe = 0;
+          dst_pe = 3;
+          route = Platform.route platform ~src:0 ~dst:3;
+          start = 10.;
+          finish = 15.;
+        };
+      |]
+
+let faults_of specs =
+  match Fault_set.of_strings specs with
+  | Ok s -> s
+  | Error msg -> Alcotest.failf "of_strings: %s" msg
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_transient_link_stalls_transaction () =
+  (* Link 0->1 is down over [5, 18): the transaction is eligible at 10
+     but may not enter its route until the recovery boundary, then runs
+     to completion undisturbed. *)
+  let faults = faults_of [ "link:0-1@5:18" ] in
+  let outcome = Executor.run ~faults platform ctg (schedule ()) in
+  let tr = Schedule.transaction outcome.realised 0 in
+  check_float "stalled until recovery" 18. tr.Schedule.start;
+  check_float "full occupancy after entry" 23. tr.Schedule.finish;
+  let p1 = Schedule.placement outcome.realised 1 in
+  check_float "consumer waits for data" 23. p1.Schedule.start;
+  check_float "consumer finish" 33. p1.Schedule.finish;
+  Alcotest.(check (list int)) "nothing lost" [] outcome.lost_tasks;
+  Alcotest.(check (list int)) "deadline still met" [] outcome.deadline_misses;
+  check_float "blocked time recorded" 8. outcome.waiting_time
+
+let test_recovered_fault_is_harmless () =
+  (* The fault clears before the transaction is released: replay is
+     identical to the fault-free one. *)
+  let faults = faults_of [ "link:0-1@2:8" ] in
+  let outcome = Executor.run ~faults platform ctg (schedule ()) in
+  let tr = Schedule.transaction outcome.realised 0 in
+  check_float "undisturbed start" 10. tr.Schedule.start;
+  check_float "undisturbed finish" 15. tr.Schedule.finish;
+  Alcotest.(check (list int)) "no losses" [] outcome.lost_tasks
+
+let test_permanent_pe_fault_loses_work () =
+  let faults = faults_of [ "pe:3" ] in
+  let outcome = Executor.run ~faults platform ctg (schedule ()) in
+  Alcotest.(check (list int)) "consumer lost" [ 1 ] outcome.lost_tasks;
+  Alcotest.(check (list int)) "its deadline missed" [ 1 ] outcome.deadline_misses;
+  let p1 = Schedule.placement outcome.realised 1 in
+  Alcotest.(check bool) "lost task carries infinity" true
+    (p1.Schedule.finish = infinity);
+  (* The producer and its transaction still run: only the consumer's
+     core is down, not its router. *)
+  let p0 = Schedule.placement outcome.realised 0 in
+  check_float "producer unaffected" 10. p0.Schedule.finish;
+  check_float "transaction delivered" 15.
+    (Schedule.transaction outcome.realised 0).Schedule.finish
+
+let test_fault_onset_kills_running_task () =
+  (* PE 0 dies at t = 5, mid-way through t0: the execution is killed,
+     the transaction never becomes eligible, t1 starves. *)
+  let faults = faults_of [ "pe:0@5:" ] in
+  let outcome = Executor.run ~faults platform ctg (schedule ()) in
+  Alcotest.(check (list int)) "both tasks lost" [ 0; 1 ] outcome.lost_tasks;
+  Alcotest.(check (list int)) "deadline task missed" [ 1 ]
+    outcome.deadline_misses;
+  Alcotest.(check bool) "killed task never finishes" true
+    ((Schedule.placement outcome.realised 0).Schedule.finish = infinity);
+  Alcotest.(check bool) "starved transaction never runs" true
+    ((Schedule.transaction outcome.realised 0).Schedule.start = infinity)
+
+let test_empty_fault_set_is_identity () =
+  let s = schedule () in
+  let plain = Executor.run platform ctg s in
+  let faulted = Executor.run ~faults:Fault_set.empty platform ctg s in
+  Alcotest.(check bool) "same realised placements" true
+    (Schedule.placements plain.realised = Schedule.placements faulted.realised);
+  Alcotest.(check bool) "same realised transactions" true
+    (Schedule.transactions plain.realised
+    = Schedule.transactions faulted.realised);
+  Alcotest.(check (list int)) "no losses" [] faulted.lost_tasks;
+  Alcotest.(check (list int)) "no misses" [] faulted.deadline_misses;
+  (* Conflict-free time-triggered replay reproduces the table. *)
+  Alcotest.(check bool) "table reproduced" true
+    (Schedule.placements faulted.realised = Schedule.placements s)
+
+let suite =
+  [
+    Alcotest.test_case "transient link fault stalls until recovery" `Quick
+      test_transient_link_stalls_transaction;
+    Alcotest.test_case "fault recovered before release is harmless" `Quick
+      test_recovered_fault_is_harmless;
+    Alcotest.test_case "permanent PE fault loses the consumer" `Quick
+      test_permanent_pe_fault_loses_work;
+    Alcotest.test_case "fault onset kills the running task" `Quick
+      test_fault_onset_kills_running_task;
+    Alcotest.test_case "empty fault set replays identically" `Quick
+      test_empty_fault_set_is_identity;
+  ]

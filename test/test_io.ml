@@ -149,6 +149,63 @@ let test_schedule_parse_errors () =
   check_error "schedule 1\nplace 0 pe 0 start 0 finish 1\n" "missing";
   check_error (text ^ "garbage\n") "unknown keyword"
 
+(* A 2x2-mesh schedule whose transaction takes the YX detour [0; 2; 3]
+   instead of the deterministic XY route. Version 2 must persist the
+   detour verbatim. *)
+let detour_platform =
+  Noc_noc.Platform.make
+    ~topology:(Noc_noc.Topology.mesh ~cols:2 ~rows:2)
+    ~pes:(Array.init 4 (fun index -> Noc_noc.Pe.of_kind ~index Noc_noc.Pe.Dsp))
+    ~link_bandwidth:100. ()
+
+let detour_ctg =
+  let b = Noc_ctg.Builder.create ~n_pes:4 in
+  let t0 = Noc_ctg.Builder.add_uniform_task b ~time:10. ~energy:1. () in
+  let t1 = Noc_ctg.Builder.add_uniform_task b ~time:10. ~energy:1. () in
+  Noc_ctg.Builder.connect b ~src:t0 ~dst:t1 ~volume:500.;
+  Noc_ctg.Builder.build_exn b
+
+let detour_schedule =
+  Schedule.make
+    ~placements:
+      [|
+        { Schedule.task = 0; pe = 0; start = 0.; finish = 10. };
+        { Schedule.task = 1; pe = 3; start = 20.; finish = 30. };
+      |]
+    ~transactions:
+      [|
+        { Schedule.edge = 0; src_pe = 0; dst_pe = 3; route = [ 0; 2; 3 ];
+          start = 10.; finish = 15. };
+      |]
+
+let test_detour_schedule_roundtrip () =
+  match
+    Schedule_io.of_string detour_platform detour_ctg
+      (Schedule_io.to_string detour_schedule)
+  with
+  | Error msg -> Alcotest.fail msg
+  | Ok s' ->
+    Alcotest.(check bool) "detour route preserved verbatim" true
+      (schedules_equal detour_schedule s');
+    Alcotest.(check (list int)) "route is the detour" [ 0; 2; 3 ]
+      (Schedule.transactions s').(0).Schedule.route
+
+let test_legacy_v1_load () =
+  (* A version-1 file has no [via] fields; routes come back as the
+     platform's deterministic ones. *)
+  let text =
+    "schedule 1\n\
+     place 0 pe 0 start 0 finish 10\n\
+     place 1 pe 3 start 20 finish 30\n\
+     trans 0 start 10 finish 15\n"
+  in
+  match Schedule_io.of_string detour_platform detour_ctg text with
+  | Error msg -> Alcotest.fail msg
+  | Ok s ->
+    Alcotest.(check (list int)) "deterministic route re-derived"
+      (Noc_noc.Platform.route detour_platform ~src:0 ~dst:3)
+      (Schedule.transactions s).(0).Schedule.route
+
 (* ------------------------------------------------------------------ *)
 (* Utilization *)
 
@@ -212,6 +269,8 @@ let suite =
     Alcotest.test_case "schedule roundtrip" `Quick test_schedule_roundtrip;
     Alcotest.test_case "schedule file roundtrip" `Quick test_schedule_file_roundtrip;
     Alcotest.test_case "schedule parse errors" `Quick test_schedule_parse_errors;
+    Alcotest.test_case "detour schedule roundtrip" `Quick test_detour_schedule_roundtrip;
+    Alcotest.test_case "legacy v1 schedule load" `Quick test_legacy_v1_load;
     Alcotest.test_case "utilization accounting" `Quick test_utilization;
     Alcotest.test_case "utilization links" `Quick test_utilization_links;
   ]

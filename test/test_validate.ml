@@ -148,13 +148,48 @@ let test_wrong_duration_detected () =
   Alcotest.(check bool) "cost-table mismatch reported" true
     (count_of (function Validate.Malformed _ -> true | _ -> false) violations > 0)
 
+(* [0; 2; 3] is the YX detour: a perfectly valid walk through the 2x2
+   mesh, just not the platform's deterministic XY route. The default
+   check accepts it (degraded-platform reschedules record such routes);
+   [~strict_routes:true] rejects it. *)
+let detour_schedule () =
+  let detour =
+    {
+      Schedule.edge = 0;
+      src_pe = 0;
+      dst_pe = 3;
+      route = [ 0; 2; 3 ];
+      start = 10.;
+      finish = 15.;
+    }
+  in
+  Schedule.make
+    ~placements:
+      [|
+        { Schedule.task = 0; pe = 0; start = 0.; finish = 10. };
+        { Schedule.task = 1; pe = 1; start = 0.; finish = 10. };
+        { Schedule.task = 2; pe = 3; start = 20.; finish = 30. };
+      |]
+    ~transactions:[| detour; transaction 1 1 3 15. 20. |]
+
+let test_detour_route_passes_default () =
+  Alcotest.(check int) "detour walk accepted" 0
+    (List.length (Validate.check platform ctg (detour_schedule ())))
+
 let test_wrong_route_detected () =
+  let violations = Validate.check ~strict_routes:true platform ctg (detour_schedule ()) in
+  Alcotest.(check bool) "route mismatch reported under strict mode" true
+    (count_of (function Validate.Malformed _ -> true | _ -> false) violations > 0)
+
+let test_broken_walk_detected () =
+  (* [0; 3] jumps diagonally across the mesh: not a link, rejected even
+     by the default (non-strict) check. *)
   let bad =
     {
       Schedule.edge = 0;
       src_pe = 0;
       dst_pe = 3;
-      route = [ 0; 2; 3 ];  (* YX instead of the platform's XY route *)
+      route = [ 0; 3 ];
       start = 10.;
       finish = 15.;
     }
@@ -170,7 +205,7 @@ let test_wrong_route_detected () =
       ~transactions:[| bad; transaction 1 1 3 15. 20. |]
   in
   let violations = Validate.check platform ctg s in
-  Alcotest.(check bool) "route mismatch reported" true
+  Alcotest.(check bool) "non-link hop reported" true
     (count_of (function Validate.Malformed _ -> true | _ -> false) violations > 0)
 
 let test_wrong_pe_consistency_detected () =
@@ -210,7 +245,10 @@ let suite =
     Alcotest.test_case "early transaction detected" `Quick test_early_transaction_detected;
     Alcotest.test_case "deadline miss detected" `Quick test_deadline_miss_detected;
     Alcotest.test_case "wrong duration detected" `Quick test_wrong_duration_detected;
-    Alcotest.test_case "wrong route detected" `Quick test_wrong_route_detected;
+    Alcotest.test_case "detour route passes default check" `Quick
+      test_detour_route_passes_default;
+    Alcotest.test_case "wrong route detected (strict)" `Quick test_wrong_route_detected;
+    Alcotest.test_case "broken walk detected" `Quick test_broken_walk_detected;
     Alcotest.test_case "wrong PE consistency detected" `Quick
       test_wrong_pe_consistency_detected;
     Alcotest.test_case "violation printing" `Quick test_violation_printing;

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json quick-bench verify examples doc clean
+.PHONY: all build test bench bench-json quick-bench analyze verify examples doc clean
 
 all: build
 
@@ -27,10 +27,21 @@ quick-bench:
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_timeline.json
 
-# The full gate CI runs: build, the complete test suite, then the
-# persisted bench gates (timeline regression + the fault-campaign
-# survivability table written to BENCH_faults.json).
-verify: build test bench-json
+# Static analysis over the shipped models: deadlock-freedom of the
+# route sets, CTG/platform lints and certification of the committed
+# example schedule. Lint semantics: warnings (exit 1) are tolerated,
+# error-severity diagnostics (exit 2) fail the target.
+analyze: build
+	dune exec bin/nocsched.exe -- analyze --ctg examples/pipeline_4x4.ctg \
+	  --schedule examples/pipeline_4x4.sched || [ $$? -eq 1 ]
+	dune exec bin/nocsched.exe -- analyze || [ $$? -eq 1 ]
+	dune exec bin/nocsched.exe -- analyze --benchmark integrated:foreman || [ $$? -eq 1 ]
+	dune exec bin/nocsched.exe -- analyze --platform --mesh 8x8 || [ $$? -eq 1 ]
+
+# The full gate CI runs: build, the complete test suite, the static
+# analysis sweep, then the persisted bench gates (timeline regression +
+# the fault-campaign survivability table written to BENCH_faults.json).
+verify: build test analyze bench-json
 	dune exec bench/main.exe -- faults
 
 examples:

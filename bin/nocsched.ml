@@ -4,6 +4,7 @@
      generate    emit a random TGFF-like CTG (summary or Graphviz)
      schedule    run a scheduler on a benchmark and print metrics/Gantt
      simulate    replay a schedule on the wormhole executor
+     analyze     static analysis: deadlock proofs, lints, certification
      experiment  regenerate one of the paper's tables/figures *)
 
 open Cmdliner
@@ -117,6 +118,23 @@ let platform_and_ctg spec ~mesh ~tasks ~tightness =
       Noc_experiments.Msb_tables.graph_of which ~clip )
 
 (* ------------------------------------------------------------------ *)
+(* Certifier reporting shared by schedule, simulate and analyze.       *)
+
+let report_certification ~label diagnostics =
+  match diagnostics with
+  | [] -> Format.printf "certifier: %s certified (independent re-verification)@." label
+  | diagnostics ->
+    List.iter
+      (fun d -> Format.printf "certifier: %a@." Noc_analysis.Diagnostic.pp d)
+      diagnostics;
+    let errors, warnings, _ = Noc_analysis.Diagnostic.count diagnostics in
+    if errors = 0 then
+      Format.printf "certifier: %s certified with %d warning(s)@." label warnings
+    else
+      Format.printf "certifier: %s NOT certified (%d error(s), %d warning(s))@." label
+        errors warnings
+
+(* ------------------------------------------------------------------ *)
 (* generate                                                            *)
 
 let generate_cmd =
@@ -215,6 +233,11 @@ let schedule_cmd =
       Format.printf "%a@." Noc_sched.Utilization.pp
         (Noc_sched.Utilization.compute platform schedule);
     if gantt then print_string (Noc_sched.Gantt.render platform ctg schedule);
+    report_certification ~label:"schedule"
+      (Noc_analysis.Certify.check
+         ~claimed_energy:
+           evaluation.Noc_experiments.Runner.metrics.Noc_sched.Metrics.total_energy
+         platform ctg schedule);
     Ok ()
   in
   Cmd.v
@@ -292,9 +315,18 @@ let simulate_cmd =
              else "");
           report "rescheduled replay"
             (Noc_sim.Executor.run ~discipline ~faults platform ctg
+               resched.Noc_eas.Fault_resched.schedule);
+          (* Detour routes legitimately diverge from the deterministic-route
+             energy of Metrics, so no claimed energy is cross-checked here. *)
+          report_certification ~label:"rescheduled schedule"
+            (Noc_analysis.Certify.check platform ctg
                resched.Noc_eas.Fault_resched.schedule)
         end
       end;
+      report_certification ~label:"planned schedule"
+        (Noc_analysis.Certify.check
+           ~claimed_energy:planned.Noc_sched.Metrics.total_energy platform ctg
+           schedule);
       Option.iter
         (fun n ->
           Format.printf "criticality (top %d):@." n;
@@ -312,6 +344,136 @@ let simulate_cmd =
     Term.(term_result
             (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
              $ self_timed_arg $ fault_arg $ reschedule_arg $ criticality_arg))
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                             *)
+
+let analyze_cmd =
+  let ctg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "ctg" ] ~docv:"FILE"
+             ~doc:"Lint the task graph loaded from FILE (text format) instead of the \
+                   $(b,--benchmark) one.")
+  in
+  let platform_arg =
+    Arg.(value & flag
+         & info [ "platform" ]
+             ~doc:"Platform-layer analyses only (platform lint and routing deadlock); \
+                   no task graph is loaded.")
+  in
+  let schedule_arg =
+    Arg.(value & opt (some string) None
+         & info [ "schedule" ] ~docv:"FILE"
+             ~doc:"Also certify the schedule loaded from FILE against the graph and \
+                   platform (independent re-verification).")
+  in
+  let fault_arg =
+    Arg.(value & opt_all string []
+         & info [ "fault" ] ~docv:"SPEC"
+             ~doc:"Analyze the degraded detour route set under the injected fault \
+                   (repeatable); syntax as in $(b,simulate). The channel-dependency \
+                   graph then covers the BFS detours, which carry no deadlock-freedom \
+                   guarantee.")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the diagnostics as a machine-readable JSON report (schema \
+                   $(b,nocsched/analysis/v1)).")
+  in
+  let run spec mesh tasks tightness ctg_file platform_only schedule_file fault_specs
+      json =
+    match Noc_fault.Fault_set.of_strings fault_specs with
+    | Error msg -> Error (`Msg msg)
+    | Ok faults ->
+      let platform, ctg =
+        if platform_only then begin
+          let cols, rows = mesh in
+          (Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows (), None)
+        end
+        else
+          match ctg_file with
+          | Some path -> (
+            match Noc_ctg.Ctg_io.load ~path with
+            | Error msg -> failwith (path ^ ": " ^ msg)
+            | Ok ctg ->
+              let cols, rows = mesh in
+              let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows () in
+              if Noc_ctg.Ctg.n_pes ctg <> Noc_noc.Platform.n_pes platform then
+                failwith "graph PE count does not match --mesh";
+              (platform, Some ctg))
+          | None ->
+            let platform, ctg = platform_and_ctg spec ~mesh ~tasks ~tightness in
+            (platform, Some ctg)
+      in
+      let deadlock =
+        if Noc_fault.Fault_set.is_empty faults then
+          Noc_analysis.Deadlock.check_platform platform
+        else Noc_analysis.Deadlock.check_degraded platform faults
+      in
+      let platform_diags = Noc_analysis.Platform_lint.check ?ctg platform in
+      let ctg_diags =
+        match ctg with None -> [] | Some ctg -> Noc_analysis.Ctg_lint.check ctg
+      in
+      let certifier_diags =
+        match (schedule_file, ctg) with
+        | None, _ -> []
+        | Some _, None -> failwith "--schedule needs a task graph (omit --platform)"
+        | Some path, Some ctg -> (
+          match Noc_sched.Schedule_io.load ~path platform ctg with
+          | Error msg -> failwith (path ^ ": " ^ msg)
+          | Ok schedule ->
+            let claimed =
+              (Noc_sched.Metrics.compute platform ctg schedule)
+                .Noc_sched.Metrics.total_energy
+            in
+            Noc_analysis.Certify.check ~claimed_energy:claimed platform ctg schedule)
+      in
+      let diagnostics =
+        Noc_analysis.Diagnostic.sort
+          (deadlock @ platform_diags @ ctg_diags @ certifier_diags)
+      in
+      Format.printf "analyzed %a%s%s: %s@." Noc_noc.Platform.pp platform
+        (match ctg with
+        | None -> ""
+        | Some ctg -> Format.asprintf " / %a" Noc_ctg.Ctg.pp ctg)
+        (if Noc_fault.Fault_set.is_empty faults then ""
+         else Format.asprintf " / faults %a" Noc_fault.Fault_set.pp faults)
+        (match schedule_file with
+        | None -> "deadlock + lint passes"
+        | Some path -> "deadlock + lint passes + certifier on " ^ path);
+      List.iter
+        (fun d -> Format.printf "%a@." Noc_analysis.Diagnostic.pp d)
+        diagnostics;
+      let errors, warnings, infos = Noc_analysis.Diagnostic.count diagnostics in
+      if diagnostics = [] then Format.printf "analysis clean@."
+      else
+        Format.printf "%d error(s), %d warning(s), %d info(s)@." errors warnings infos;
+      Option.iter
+        (fun path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out oc)
+            (fun () ->
+              output_string oc (Noc_analysis.Diagnostic.to_json diagnostics)))
+        json;
+      (* Lint-style exit status: 0 clean, 1 warnings, 2 errors. *)
+      (match Noc_analysis.Diagnostic.exit_code diagnostics with
+      | 0 -> ()
+      | code ->
+        Format.pp_print_flush Format.std_formatter ();
+        Stdlib.exit code);
+      Ok ()
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Static analysis over the three model layers: routing deadlock-freedom \
+             (channel-dependency graph), task-graph and platform lints, and an \
+             independent schedule certifier. Exits 0 when clean, 1 on warnings, 2 \
+             on errors.")
+    Term.(term_result
+            (const run $ bench_arg $ mesh_arg $ tasks_arg $ tightness_arg $ ctg_arg
+             $ platform_arg $ schedule_arg $ fault_arg $ json_arg))
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)
@@ -407,4 +569,7 @@ let () =
     Cmd.info "nocsched" ~version:"1.0.0"
       ~doc:"Energy-aware communication and task scheduling for NoC architectures"
   in
-  exit (Cmd.eval (Cmd.group info [ generate_cmd; schedule_cmd; simulate_cmd; experiment_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; schedule_cmd; simulate_cmd; analyze_cmd; experiment_cmd ]))

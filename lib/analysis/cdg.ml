@@ -1,0 +1,94 @@
+(* Channel-dependency graph of a route set (Dally & Seitz). Vertices are
+   the directed channels the routes use; an arc a -> b records that some
+   route acquires channel b while holding channel a (consecutive links
+   of one route). A cycle in this graph is a potential circular wait —
+   the route set admits deadlock; acyclicity proves it cannot. *)
+
+type t = {
+  channels : (int * int) array;  (* canonically sorted by endpoint pair *)
+  succs : int list array;  (* sorted successor channel indices *)
+}
+
+let of_routes routes =
+  let index : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let rev_channels = ref [] in
+  let n = ref 0 in
+  let id_of pair =
+    match Hashtbl.find_opt index pair with
+    | Some i -> i
+    | None ->
+      let i = !n in
+      incr n;
+      Hashtbl.add index pair i;
+      rev_channels := pair :: !rev_channels;
+      i
+  in
+  let deps : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun route ->
+      let rec walk = function
+        | a :: (b :: c :: _ as rest) ->
+          let la = id_of (a, b) and lb = id_of (b, c) in
+          if not (Hashtbl.mem deps (la, lb)) then Hashtbl.add deps (la, lb) ();
+          walk rest
+        | [ a; b ] -> ignore (id_of (a, b))
+        | [ _ ] | [] -> ()
+      in
+      walk route)
+    routes;
+  (* Renumber the channels canonically so that equal route sets yield
+     identical graphs regardless of route order. *)
+  let channels = Array.of_list (List.rev !rev_channels) in
+  let order = Array.init (Array.length channels) Fun.id in
+  Array.sort (fun i j -> compare channels.(i) channels.(j)) order;
+  let rank = Array.make (Array.length channels) 0 in
+  Array.iteri (fun new_id old_id -> rank.(old_id) <- new_id) order;
+  let sorted_channels = Array.map (fun old_id -> channels.(old_id)) order in
+  let succs = Array.make (Array.length channels) [] in
+  Hashtbl.iter
+    (fun (a, b) () -> succs.(rank.(a)) <- rank.(b) :: succs.(rank.(a)))
+    deps;
+  Array.iteri (fun i l -> succs.(i) <- List.sort_uniq compare l) succs;
+  { channels = sorted_channels; succs }
+
+let n_channels t = Array.length t.channels
+
+let n_dependencies t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.succs
+
+let find_cycle t =
+  let n = Array.length t.channels in
+  (* 0 = unvisited, 1 = on the current DFS path, 2 = done. *)
+  let colour = Array.make n 0 in
+  let result = ref None in
+  let rec dfs path u =
+    colour.(u) <- 1;
+    let path = u :: path in
+    List.iter
+      (fun v ->
+        if !result = None then
+          if colour.(v) = 1 then begin
+            (* Back edge u -> v: the path segment v..u closes a cycle.
+               [path] has u at its head, so pushing elements until v is
+               reached yields the cycle in dependency order. *)
+            let rec collect acc = function
+              | [] -> acc
+              | x :: rest -> if x = v then x :: acc else collect (x :: acc) rest
+            in
+            result := Some (collect [] path)
+          end
+          else if colour.(v) = 0 then dfs path v)
+      t.succs.(u);
+    colour.(u) <- 2
+  in
+  let u = ref 0 in
+  while !result = None && !u < n do
+    if colour.(!u) = 0 then dfs [] !u;
+    incr u
+  done;
+  Option.map
+    (List.map (fun i ->
+         let from_node, to_node = t.channels.(i) in
+         { Noc_noc.Routing.from_node; to_node }))
+    !result
+
+let is_acyclic t = find_cycle t = None

@@ -1,0 +1,281 @@
+(* Implementation-independent re-verification of a schedule. This module
+   intentionally re-derives every check from the model definitions
+   instead of calling into Noc_sched.Validate: the two checkers share
+   only the data types, so they can serve as differential oracles for
+   each other (a bug in one is caught by disagreement with the other,
+   exercised by the test suite over the golden corpus). *)
+
+module Schedule = Noc_sched.Schedule
+module Platform = Noc_noc.Platform
+module Topology = Noc_noc.Topology
+module Ctg = Noc_ctg.Ctg
+module Task = Noc_ctg.Task
+module Edge = Noc_ctg.Edge
+
+let default_eps = 1e-6
+
+(* Routers a recorded route visits; a same-tile transfer ([] or [p])
+   occupies no router. Deliberately local — not Platform.route_hops. *)
+let hop_count = function [] | [ _ ] -> 0 | route -> List.length route
+
+let rec last = function
+  | [ x ] -> x
+  | _ :: rest -> last rest
+  | [] -> invalid_arg "Certify.last: empty route"
+
+let energy platform ctg schedule =
+  let model = Platform.energy_model platform in
+  let computation =
+    Array.fold_left
+      (fun acc (t : Task.t) ->
+        acc +. t.energies.((Schedule.placement schedule t.id).Schedule.pe))
+      0. (Ctg.tasks ctg)
+  in
+  let communication =
+    Array.fold_left
+      (fun acc (e : Edge.t) ->
+        let tr = Schedule.transaction schedule e.id in
+        acc
+        +. Noc_noc.Energy_model.transfer_energy model ~n_hops:(hop_count tr.route)
+             ~bits:e.volume)
+      0. (Ctg.edges ctg)
+  in
+  computation +. communication
+
+(* ------------------------------------------------------------------ *)
+(* Per-element checks                                                  *)
+
+let placement_checks ~eps platform ctg add =
+  let n_pes = Platform.n_pes platform in
+  fun (p : Schedule.placement) ->
+    if p.pe < 0 || p.pe >= n_pes then
+      add
+        (Diagnostic.error ~rule:"sched/pe-range" (Diagnostic.Task p.task)
+           "placed on pe %d of a %d-PE platform" p.pe n_pes)
+    else begin
+      if p.start < -.eps || p.finish < p.start -. eps then
+        add
+          (Diagnostic.error ~rule:"sched/time-window" (Diagnostic.Task p.task)
+             "window [%g, %g) is not a forward interval from time 0" p.start p.finish);
+      let expected = (Ctg.task ctg p.task).Task.exec_times.(p.pe) in
+      if Float.abs (p.finish -. p.start -. expected) > eps then
+        add
+          (Diagnostic.error ~rule:"sched/duration" (Diagnostic.Task p.task)
+             "runs for %g on pe %d, cost table says %g" (p.finish -. p.start) p.pe
+             expected)
+    end
+
+let route_walk_checks platform add (tr : Schedule.transaction) =
+  let topology = Platform.topology platform in
+  let n = Platform.n_pes platform in
+  let bad fmt =
+    Printf.ksprintf
+      (fun msg ->
+        add (Diagnostic.error ~rule:"sched/route-walk" (Diagnostic.Edge tr.edge) "%s" msg))
+      fmt
+  in
+  if tr.src_pe = tr.dst_pe then begin
+    (* Same-tile transfers use no network; they may record either no
+       route at all or the single shared tile. *)
+    match tr.route with
+    | [] -> ()
+    | [ p ] when p = tr.src_pe -> ()
+    | [ p ] -> bad "same-tile route names tile %d, task runs on tile %d" p tr.src_pe
+    | _ :: _ :: _ -> bad "same-tile transfer records a multi-hop route"
+  end
+  else
+    match tr.route with
+    | [] | [ _ ] -> bad "distinct tiles %d and %d need a multi-hop route" tr.src_pe tr.dst_pe
+    | first :: _ :: _ as route ->
+      if List.exists (fun p -> p < 0 || p >= n) route then
+        bad "route leaves the chip (a node is outside 0..%d)" (n - 1)
+      else if first <> tr.src_pe then bad "route starts at tile %d, sender sits on %d" first tr.src_pe
+      else if last route <> tr.dst_pe then
+        bad "route ends at tile %d, receiver sits on %d" (last route) tr.dst_pe
+      else begin
+        let seen = Hashtbl.create 8 in
+        let rec walk = function
+          | a :: (b :: _ as rest) ->
+            if not (Topology.are_neighbours topology a b) then
+              bad "route steps %d -> %d without a physical link" a b
+            else if Hashtbl.mem seen (a, b) then
+              bad "route reserves channel %d->%d twice" a b
+            else begin
+              Hashtbl.add seen (a, b) ();
+              walk rest
+            end
+          | [ _ ] | [] -> ()
+        in
+        walk route
+      end
+
+let transaction_checks ~eps platform ctg schedule add =
+  let bandwidth = Platform.link_bandwidth platform in
+  let latency = Platform.router_latency platform in
+  fun (tr : Schedule.transaction) ->
+    let e = Ctg.edge ctg tr.edge in
+    let sender = Schedule.placement schedule e.src in
+    let receiver = Schedule.placement schedule e.dst in
+    if tr.src_pe <> sender.pe then
+      add
+        (Diagnostic.error ~rule:"sched/endpoint-pe" (Diagnostic.Edge tr.edge)
+           "departs pe %d, but task %d runs on pe %d" tr.src_pe e.src sender.pe);
+    if tr.dst_pe <> receiver.pe then
+      add
+        (Diagnostic.error ~rule:"sched/endpoint-pe" (Diagnostic.Edge tr.edge)
+           "arrives at pe %d, but task %d runs on pe %d" tr.dst_pe e.dst receiver.pe);
+    route_walk_checks platform add tr;
+    let expected =
+      match hop_count tr.route with
+      | 0 -> 0.
+      | h -> (e.volume /. bandwidth) +. (float_of_int (h - 1) *. latency)
+    in
+    if Float.abs (tr.finish -. tr.start -. expected) > eps then
+      add
+        (Diagnostic.error ~rule:"sched/duration" (Diagnostic.Edge tr.edge)
+           "occupies its route for %g; %g bits over a %d-router route take %g"
+           (tr.finish -. tr.start) e.volume (hop_count tr.route) expected)
+
+(* ------------------------------------------------------------------ *)
+(* Pairwise exclusion                                                  *)
+
+(* Both exclusions reduce to the same question: do two half-open windows
+   booked on one resource overlap? Flatten every booking to a
+   (resource, start, finish, owner) tuple, sort, and compare neighbours
+   within each resource run. *)
+let overlap_scan ~eps bookings report =
+  let sorted =
+    List.sort
+      (fun (r1, s1, _, o1) (r2, s2, _, o2) ->
+        let c = compare r1 r2 in
+        if c <> 0 then c
+        else
+          let c = Float.compare s1 s2 in
+          if c <> 0 then c else compare o1 o2)
+      bookings
+  in
+  (* Within one resource, carry the booking that reaches furthest so a
+     long window is compared against every later start. *)
+  let rec scan ((r1, _, f1, o1) as cur) = function
+    | [] -> ()
+    | ((r2, s2, f2, o2) as next) :: tail ->
+      if r1 <> r2 then scan next tail
+      else begin
+        if s2 < f1 -. eps then report r1 o1 o2;
+        scan (if f2 > f1 then next else cur) tail
+      end
+  in
+  match sorted with [] -> () | first :: rest -> scan first rest
+
+let pe_exclusion ~eps schedule add =
+  let bookings =
+    Array.to_list (Schedule.placements schedule)
+    |> List.filter_map (fun (p : Schedule.placement) ->
+           if p.finish > p.start then Some (p.pe, p.start, p.finish, p.task) else None)
+  in
+  overlap_scan ~eps bookings (fun pe a b ->
+      add
+        (Diagnostic.error ~rule:"sched/pe-overlap" (Diagnostic.Pe pe)
+           "tasks %d and %d run concurrently" a b))
+
+let link_exclusion ~eps schedule add =
+  let bookings =
+    Array.to_list (Schedule.transactions schedule)
+    |> List.concat_map (fun (tr : Schedule.transaction) ->
+           if tr.finish <= tr.start then []
+           else
+             let rec channels = function
+               | a :: (b :: _ as rest) -> ((a, b), tr.start, tr.finish, tr.edge) :: channels rest
+               | [ _ ] | [] -> []
+             in
+             channels tr.route)
+  in
+  overlap_scan ~eps bookings (fun (from_node, to_node) a b ->
+      add
+        (Diagnostic.error ~rule:"sched/link-overlap"
+           (Diagnostic.Link { Noc_noc.Routing.from_node; to_node })
+           "transactions %d and %d reserve this channel concurrently" a b))
+
+(* ------------------------------------------------------------------ *)
+(* Precedence and timing windows                                       *)
+
+let precedence ~eps ctg schedule add =
+  Array.iter
+    (fun (tr : Schedule.transaction) ->
+      let e = Ctg.edge ctg tr.edge in
+      let sender = Schedule.placement schedule e.src in
+      let receiver = Schedule.placement schedule e.dst in
+      if tr.start < sender.finish -. eps then
+        add
+          (Diagnostic.error ~rule:"sched/precedence" (Diagnostic.Edge tr.edge)
+             "departs at %g before task %d finishes at %g" tr.start e.src sender.finish);
+      if receiver.start < tr.finish -. eps then
+        add
+          (Diagnostic.error ~rule:"sched/precedence" (Diagnostic.Edge tr.edge)
+             "task %d starts at %g before its data arrives at %g" e.dst receiver.start
+             tr.finish))
+    (Schedule.transactions schedule)
+
+let timing_windows ~eps ctg schedule add =
+  Array.iter
+    (fun (t : Task.t) ->
+      let p = Schedule.placement schedule t.id in
+      (match t.release with
+      | Some release when p.start < release -. eps ->
+        add
+          (Diagnostic.error ~rule:"sched/release" (Diagnostic.Task t.id)
+             "starts at %g before its release %g" p.start release)
+      | Some _ | None -> ());
+      match t.deadline with
+      | Some deadline when p.finish > deadline +. eps ->
+        add
+          (Diagnostic.error ~rule:"sched/deadline" (Diagnostic.Task t.id)
+             "finishes at %g, deadline is %g" p.finish deadline)
+      | Some _ | None -> ())
+    (Ctg.tasks ctg)
+
+(* ------------------------------------------------------------------ *)
+
+let check ?(eps = default_eps) ?claimed_energy platform ctg schedule =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  let n_tasks = Ctg.n_tasks ctg and n_edges = Ctg.n_edges ctg in
+  if Schedule.n_tasks schedule <> n_tasks then
+    add
+      (Diagnostic.error ~rule:"sched/task-count" Diagnostic.Nowhere
+         "schedule places %d tasks, graph has %d" (Schedule.n_tasks schedule) n_tasks)
+  else if Array.length (Schedule.transactions schedule) <> n_edges then
+    add
+      (Diagnostic.error ~rule:"sched/transaction-count" Diagnostic.Nowhere
+         "schedule carries %d transactions, graph has %d arcs"
+         (Array.length (Schedule.transactions schedule))
+         n_edges)
+  else begin
+    Array.iter (placement_checks ~eps platform ctg add) (Schedule.placements schedule);
+    Array.iter
+      (transaction_checks ~eps platform ctg schedule add)
+      (Schedule.transactions schedule);
+    (* Only reason about exclusion and ordering of well-formed windows. *)
+    if !acc = [] then begin
+      pe_exclusion ~eps schedule add;
+      link_exclusion ~eps schedule add;
+      precedence ~eps ctg schedule add;
+      timing_windows ~eps ctg schedule add;
+      match claimed_energy with
+      | None -> ()
+      | Some claimed ->
+        let derived = energy platform ctg schedule in
+        if Float.abs (claimed -. derived) > eps *. Float.max 1. (Float.abs claimed)
+        then
+          add
+            (Diagnostic.warning ~rule:"sched/energy-mismatch" Diagnostic.Nowhere
+               "claimed total energy %g, Eq. 3 over the recorded routes gives %g"
+               claimed derived)
+    end
+  end;
+  Diagnostic.sort (List.rev !acc)
+
+let certifies ?eps ?claimed_energy platform ctg schedule =
+  List.for_all
+    (fun (d : Diagnostic.t) -> d.severity <> Diagnostic.Error)
+    (check ?eps ?claimed_energy platform ctg schedule)

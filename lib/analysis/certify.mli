@@ -1,0 +1,63 @@
+(** Independent schedule certifier.
+
+    Re-verifies a complete schedule from first principles — precedence,
+    PE and link mutual exclusion, route-walk validity, release and
+    deadline windows, duration and Eq. 3 energy re-derivation — while
+    deliberately sharing no code with {!Noc_sched.Validate}. The two
+    implementations act as differential oracles: a schedule both accept
+    is very unlikely to be infeasible through a bug either checker
+    happens to contain. Rules (catalogued in DESIGN.md §7):
+
+    - [sched/task-count], [sched/transaction-count] (error): the
+      schedule does not cover the graph exactly.
+    - [sched/pe-range] (error): a placement names a PE off the chip.
+    - [sched/time-window] (error): a start before 0 or a finish before
+      its start.
+    - [sched/duration] (error): a task's window disagrees with the cost
+      table, or a transaction's with its route length, bandwidth and
+      router latency.
+    - [sched/endpoint-pe] (error): a transaction departs or arrives on a
+      PE its endpoint task does not run on.
+    - [sched/route-walk] (error): a recorded route is not a real walk
+      (wrong endpoints, non-adjacent step, repeated channel). Same-tile
+      transfers may record either the empty route or the single shared
+      tile.
+    - [sched/pe-overlap], [sched/link-overlap] (error): two executions
+      (or two reservations of one channel) overlap in time.
+    - [sched/precedence] (error): a transaction departs before its
+      sender finishes, or a receiver starts before its data arrives.
+    - [sched/release], [sched/deadline] (error): a task runs outside its
+      release-to-deadline window.
+    - [sched/energy-mismatch] (warning): the claimed total energy
+      disagrees with the certifier's own Eq. 3 re-derivation over the
+      recorded routes. *)
+
+val energy :
+  Noc_noc.Platform.t -> Noc_ctg.Ctg.t -> Noc_sched.Schedule.t -> float
+(** The certifier's independent Eq. 3 total: per-variant computation
+    energies plus, for every arc, [volume * E_bit(n_hops)] with the hop
+    count taken from the {e recorded} route (so detours pay their real
+    cost, unlike {!Noc_sched.Metrics} which assumes the deterministic
+    route). *)
+
+val check :
+  ?eps:float ->
+  ?claimed_energy:float ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  Noc_sched.Schedule.t ->
+  Diagnostic.t list
+(** Certifies the schedule; empty means certified. [claimed_energy] is
+    cross-checked against {!energy} within [eps * max(1, claimed)];
+    omitting it skips the energy rule. Pairwise checks only run when the
+    per-element structure is sound, mirroring how a proof would not
+    reason about overlap of malformed windows. *)
+
+val certifies :
+  ?eps:float ->
+  ?claimed_energy:float ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  Noc_sched.Schedule.t ->
+  bool
+(** No error-severity diagnostic (warnings do not block). *)

@@ -1,0 +1,193 @@
+module Task = Noc_ctg.Task
+module Edge = Noc_ctg.Edge
+
+let eps = 1e-9
+
+let min_exec (t : Task.t) = Array.fold_left Float.min infinity t.exec_times
+
+(* Structural pass: everything [Ctg.make] would reject, reported as
+   individual diagnostics. Returns true when the arrays are sound enough
+   for the semantic pass to interpret. *)
+let structural ~n_pes ~tasks ~edges add =
+  let n = Array.length tasks in
+  if n = 0 then begin
+    add (Diagnostic.error ~rule:"ctg/empty-graph" Diagnostic.Nowhere "graph has no tasks");
+    false
+  end
+  else begin
+    let ok = ref true in
+    Array.iter
+      (fun (t : Task.t) ->
+        if Task.n_pes t <> n_pes then begin
+          ok := false;
+          add
+            (Diagnostic.error ~rule:"ctg/pe-count-mismatch" (Diagnostic.Task t.id)
+               "task carries %d cost entries, platform has %d PEs" (Task.n_pes t) n_pes)
+        end)
+      tasks;
+    let seen = Hashtbl.create 64 in
+    Array.iter
+      (fun (e : Edge.t) ->
+        if e.src < 0 || e.src >= n || e.dst < 0 || e.dst >= n then begin
+          ok := false;
+          add
+            (Diagnostic.error ~rule:"ctg/dangling-edge" (Diagnostic.Edge e.id)
+               "edge connects %d -> %d, but task ids end at %d" e.src e.dst (n - 1))
+        end
+        else if Hashtbl.mem seen (e.src, e.dst) then begin
+          ok := false;
+          add
+            (Diagnostic.error ~rule:"ctg/duplicate-edge" (Diagnostic.Edge e.id)
+               "duplicate arc %d -> %d (first seen as edge %d)" e.src e.dst
+               (Hashtbl.find seen (e.src, e.dst)))
+        end
+        else Hashtbl.add seen (e.src, e.dst) e.id)
+      edges;
+    !ok
+  end
+
+(* Kahn's algorithm over the in-range edges. Returns the topological
+   order of the acyclic part; tasks left over sit on (or behind) a
+   dependency cycle. *)
+let topo_order ~tasks ~edges =
+  let n = Array.length tasks in
+  let in_range (e : Edge.t) = e.src >= 0 && e.src < n && e.dst >= 0 && e.dst < n in
+  let indegree = Array.make n 0 in
+  let succs = Array.make n [] in
+  Array.iter
+    (fun (e : Edge.t) ->
+      if in_range e then begin
+        indegree.(e.dst) <- indegree.(e.dst) + 1;
+        succs.(e.src) <- e.dst :: succs.(e.src)
+      end)
+    edges;
+  let queue = Queue.create () in
+  for i = 0 to n - 1 do
+    if indegree.(i) = 0 then Queue.add i queue
+  done;
+  let order = ref [] in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order := u :: !order;
+    List.iter
+      (fun v ->
+        indegree.(v) <- indegree.(v) - 1;
+        if indegree.(v) = 0 then Queue.add v queue)
+      succs.(u)
+  done;
+  let order = List.rev !order in
+  let leftover = List.filter (fun i -> indegree.(i) > 0) (List.init n Fun.id) in
+  (order, leftover, succs)
+
+(* One concrete dependency cycle among the leftover tasks, for the
+   diagnostic message: walk successors inside the leftover set until a
+   task repeats. *)
+let find_task_cycle ~leftover succs =
+  match leftover with
+  | [] -> []
+  | start :: _ ->
+    let in_leftover = Hashtbl.create 16 in
+    List.iter (fun i -> Hashtbl.replace in_leftover i ()) leftover;
+    let rec walk path u =
+      if List.mem u path then
+        (* Drop the lead-in, keep the loop. *)
+        let rec from = function
+          | x :: rest -> if x = u then x :: rest else from rest
+          | [] -> []
+        in
+        from (List.rev (u :: path))
+      else
+        match List.find_opt (Hashtbl.mem in_leftover) (List.sort compare succs.(u)) with
+        | Some v -> walk (u :: path) v
+        | None -> []
+    in
+    walk [] start
+
+let semantic ~tasks ~edges add =
+  let n = Array.length tasks in
+  let order, leftover, succs = topo_order ~tasks ~edges in
+  if leftover <> [] then
+    add
+      (Diagnostic.error ~rule:"ctg/cycle" Diagnostic.Nowhere
+         "dependency cycle through tasks %s"
+         (String.concat " -> "
+            (List.map string_of_int (find_task_cycle ~leftover succs))))
+  else begin
+    (* Reachability: a task no arc touches is dead weight in a graph
+       that otherwise communicates. *)
+    if n > 1 then begin
+      let touched = Array.make n false in
+      Array.iter
+        (fun (e : Edge.t) ->
+          touched.(e.src) <- true;
+          touched.(e.dst) <- true)
+        edges;
+      Array.iteri
+        (fun i t ->
+          ignore (t : Task.t);
+          if not touched.(i) then
+            add
+              (Diagnostic.warning ~rule:"ctg/unreachable-task" (Diagnostic.Task i)
+                 "no arc reaches or leaves this task; the application's dataflow \
+                  never exercises it"))
+        tasks
+    end;
+    (* Per-task window feasibility: can any PE variant fit at all? *)
+    let window_infeasible = Array.make n false in
+    Array.iter
+      (fun (t : Task.t) ->
+        let fastest = min_exec t in
+        match t.Task.deadline with
+        | _ when fastest = infinity ->
+          window_infeasible.(t.id) <- true;
+          add
+            (Diagnostic.error ~rule:"ctg/no-feasible-variant" (Diagnostic.Task t.id)
+               "no PE variant has a finite execution time")
+        | Some deadline ->
+          let release = Option.value ~default:0. t.Task.release in
+          if fastest > deadline -. release +. eps then begin
+            window_infeasible.(t.id) <- true;
+            add
+              (Diagnostic.error ~rule:"ctg/no-feasible-variant" (Diagnostic.Task t.id)
+                 "fastest variant takes %g, but the release-to-deadline window is \
+                  only %g"
+                 fastest (deadline -. release))
+          end
+        | None -> ())
+      tasks;
+    (* Level-structured critical-path lower bound (fastest variants,
+       communication ignored): a true lower bound on any schedule's
+       finish time of each task, so exceeding the deadline is a proof of
+       infeasibility, not a heuristic. *)
+    let finish_bound = Array.make n 0. in
+    List.iter
+      (fun u ->
+        let t = tasks.(u) in
+        let start_bound =
+          Array.fold_left
+            (fun acc (e : Edge.t) ->
+              if e.dst = u then Float.max acc finish_bound.(e.src) else acc)
+            (Option.value ~default:0. t.Task.release)
+            edges
+        in
+        finish_bound.(u) <- start_bound +. min_exec t;
+        match t.Task.deadline with
+        | Some deadline
+          when finish_bound.(u) > deadline +. eps && not window_infeasible.(u) ->
+          add
+            (Diagnostic.error ~rule:"ctg/deadline-infeasible" (Diagnostic.Task u)
+               "critical-path lower bound %g already exceeds the deadline %g"
+               finish_bound.(u) deadline)
+        | Some _ | None -> ())
+      order
+  end
+
+let check_raw ~n_pes ~tasks ~edges =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  if structural ~n_pes ~tasks ~edges add then semantic ~tasks ~edges add;
+  Diagnostic.sort (List.rev !acc)
+
+let check ctg =
+  check_raw ~n_pes:(Noc_ctg.Ctg.n_pes ctg) ~tasks:(Noc_ctg.Ctg.tasks ctg)
+    ~edges:(Noc_ctg.Ctg.edges ctg)

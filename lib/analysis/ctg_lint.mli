@@ -1,0 +1,35 @@
+(** CTG lint: feasibility and hygiene checks on task graphs.
+
+    Two entry points: {!check} lints a validated {!Noc_ctg.Ctg.t}, and
+    {!check_raw} additionally covers the structural defects
+    [Noc_ctg.Ctg.make] would reject (dangling or duplicate edges,
+    cycles), reporting them as diagnostics instead of a single opaque
+    error string. Rules (catalogued in DESIGN.md §7):
+
+    - [ctg/empty-graph] (error): no tasks at all.
+    - [ctg/pe-count-mismatch] (error): a task's cost arrays disagree
+      with the expected PE count.
+    - [ctg/dangling-edge] (error): an edge endpoint names no task.
+    - [ctg/duplicate-edge] (error): two arcs connect the same task pair.
+    - [ctg/cycle] (error): the dependency graph is not acyclic.
+    - [ctg/unreachable-task] (warning): a task with no incident arcs in
+      a multi-task graph — nothing in the application's dataflow ever
+      triggers or consumes it.
+    - [ctg/no-feasible-variant] (error): no PE variant fits inside the
+      task's own release-to-deadline window, so every placement misses.
+    - [ctg/deadline-infeasible] (error): the level-structured critical
+      path into the task (fastest variants, communication ignored — a
+      true lower bound, the paper's Sec. 4 levels reused as an analysis)
+      already exceeds its deadline. *)
+
+val check_raw :
+  n_pes:int ->
+  tasks:Noc_ctg.Task.t array ->
+  edges:Noc_ctg.Edge.t array ->
+  Diagnostic.t list
+(** Lints raw task/edge arrays that may not form a valid CTG. Semantic
+    rules (feasibility, reachability) run only when the structure is
+    sound enough to interpret. *)
+
+val check : Noc_ctg.Ctg.t -> Diagnostic.t list
+(** Lints a validated graph (the structural rules then cannot fire). *)

@@ -1,0 +1,54 @@
+let platform_routes platform =
+  let n = Noc_noc.Platform.n_pes platform in
+  let routes = ref [] in
+  for src = n - 1 downto 0 do
+    for dst = n - 1 downto 0 do
+      if src <> dst then
+        routes := Noc_noc.Platform.route platform ~src ~dst :: !routes
+    done
+  done;
+  !routes
+
+let degraded_routes view =
+  let n = Noc_noc.Platform.n_pes (Noc_noc.Degraded.platform view) in
+  let routes = ref [] and unreachable = ref [] in
+  for src = n - 1 downto 0 do
+    for dst = n - 1 downto 0 do
+      if src <> dst then
+        match Noc_noc.Degraded.route_opt view ~src ~dst with
+        | Some route -> routes := route :: !routes
+        | None -> unreachable := (src, dst) :: !unreachable
+    done
+  done;
+  (!routes, !unreachable)
+
+let cdg_of_platform platform = Cdg.of_routes (platform_routes platform)
+
+let cdg_of_degraded view = Cdg.of_routes (fst (degraded_routes view))
+
+let cycle_diagnostic ~what cycle =
+  Diagnostic.error ~rule:"deadlock/cyclic-cdg"
+    (Diagnostic.Channel_cycle cycle)
+    "%s admits deadlock: %d channels form a circular wait" what (List.length cycle)
+
+let check_platform platform =
+  match Cdg.find_cycle (cdg_of_platform platform) with
+  | None -> []
+  | Some cycle -> [ cycle_diagnostic ~what:"deterministic route set" cycle ]
+
+let check_degraded platform faults =
+  let view = Noc_fault.Fault_set.degraded faults platform in
+  let routes, unreachable = degraded_routes view in
+  let cycle =
+    match Cdg.find_cycle (Cdg.of_routes routes) with
+    | None -> []
+    | Some cycle -> [ cycle_diagnostic ~what:"degraded detour route set" cycle ]
+  in
+  let disconnected =
+    List.map
+      (fun (src, dst) ->
+        Diagnostic.error ~rule:"deadlock/unreachable-pair" (Diagnostic.Tile src)
+          "fault set leaves no route from tile %d to tile %d" src dst)
+      unreachable
+  in
+  cycle @ disconnected

@@ -1,0 +1,29 @@
+(** Routing deadlock-freedom analysis.
+
+    Collects the complete route set a platform (or a degraded view of it
+    under a fault set) would use — one route per ordered tile pair —
+    builds its {!Cdg} and reports any channel-dependency cycle. XY
+    routing on a mesh always passes; BFS detour routes around failed
+    links can and do fail, which is exactly the regression the paper's
+    deterministic-routing assumption hides. *)
+
+val platform_routes : Noc_noc.Platform.t -> int list list
+(** The deterministic route of every ordered pair of distinct tiles. *)
+
+val degraded_routes :
+  Noc_noc.Degraded.t -> int list list * (int * int) list
+(** Routes over the surviving fabric plus the list of (src, dst) pairs
+    the fault set disconnects. *)
+
+val cdg_of_platform : Noc_noc.Platform.t -> Cdg.t
+val cdg_of_degraded : Noc_noc.Degraded.t -> Cdg.t
+
+val check_platform : Noc_noc.Platform.t -> Diagnostic.t list
+(** Rule [deadlock/cyclic-cdg] (error) when the healthy route set's CDG
+    has a cycle; empty when the routing is provably deadlock-free. *)
+
+val check_degraded :
+  Noc_noc.Platform.t -> Noc_fault.Fault_set.t -> Diagnostic.t list
+(** Same analysis over the fault set's degraded view (every element that
+    ever fails is masked). Adds rule [deadlock/unreachable-pair] (error)
+    for each tile pair the faults disconnect. *)

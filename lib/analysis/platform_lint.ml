@@ -1,0 +1,64 @@
+module Platform = Noc_noc.Platform
+module Topology = Noc_noc.Topology
+module Routing = Noc_noc.Routing
+
+let check ?ctg platform =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  let topology = Platform.topology platform in
+  let bandwidth = Platform.link_bandwidth platform in
+  if bandwidth <= 0. then
+    add
+      (Diagnostic.error ~rule:"platform/zero-bandwidth" Diagnostic.Nowhere
+         "link bandwidth is %g; no transaction can ever complete" bandwidth);
+  let distances = Topology.bfs_distances topology 0 in
+  Array.iteri
+    (fun tile d ->
+      if d < 0 then
+        add
+          (Diagnostic.error ~rule:"platform/unreachable-tile" (Diagnostic.Tile tile)
+             "no chain of links connects this tile to tile 0"))
+    distances;
+  (* Links the deterministic routing discipline never exercises. *)
+  if Array.for_all (fun d -> d >= 0) distances then begin
+    let n = Platform.n_pes platform in
+    let used = Hashtbl.create 64 in
+    for src = 0 to n - 1 do
+      for dst = 0 to n - 1 do
+        if src <> dst then
+          List.iter
+            (fun (l : Routing.link) -> Hashtbl.replace used (l.from_node, l.to_node) ())
+            (Platform.route_links platform ~src ~dst)
+      done
+    done;
+    List.iter
+      (fun (l : Routing.link) ->
+        if not (Hashtbl.mem used (l.from_node, l.to_node)) then
+          add
+            (Diagnostic.info ~rule:"platform/unused-link" (Diagnostic.Link l)
+               "no deterministic route uses this channel"))
+      (Routing.all_links topology)
+  end;
+  (match ctg with
+  | None -> ()
+  | Some ctg ->
+    let latest_deadline =
+      Array.fold_left
+        (fun acc (t : Noc_ctg.Task.t) ->
+          match t.deadline with Some d -> Float.max acc d | None -> acc)
+        neg_infinity (Noc_ctg.Ctg.tasks ctg)
+    in
+    let crossing = List.length (Routing.bisection_links topology) in
+    let capacity = float_of_int crossing *. bandwidth in
+    if latest_deadline > neg_infinity && capacity > 0. then begin
+      let volume = Noc_ctg.Ctg.total_volume ctg in
+      let transfer_time = volume /. capacity in
+      if transfer_time > latest_deadline then
+        add
+          (Diagnostic.warning ~rule:"platform/bisection-bandwidth" Diagnostic.Nowhere
+             "moving the full %g-bit communication volume across the %d-link \
+              bisection takes %g, past the latest deadline %g; placements that \
+              split traffic across the midline cannot meet it"
+             volume crossing transfer_time latest_deadline)
+    end);
+  Diagnostic.sort (List.rev !acc)

@@ -1,0 +1,17 @@
+(** Platform lint: capacity and connectivity checks on the target
+    architecture. Rules (catalogued in DESIGN.md §7):
+
+    - [platform/zero-bandwidth] (error): the link bandwidth is not
+      positive — no transaction can ever complete.
+    - [platform/unreachable-tile] (error): a tile the topology's links
+      never reach (only possible on malformed honeycomb patterns).
+    - [platform/unused-link] (info): a physical channel no deterministic
+      route ever uses — silicon the routing discipline wastes.
+    - [platform/bisection-bandwidth] (warning, needs a CTG): moving the
+      graph's whole communication volume across the topology's midline
+      bisection would already take longer than the latest deadline. The
+      placement decides how much traffic actually crosses, so this is a
+      capacity smell rather than an infeasibility proof — hence the
+      severity. *)
+
+val check : ?ctg:Noc_ctg.Ctg.t -> Noc_noc.Platform.t -> Diagnostic.t list

@@ -19,6 +19,7 @@ type trial = {
   graph : int;
   seed : int;
   faults : string;
+  cyclic_cdg : bool;
   eas : algo_trial;
   edf : algo_trial;
 }
@@ -32,7 +33,12 @@ type summary = {
   total_rerouted : int;
 }
 
-type result = { scale : float; trials : trial list; summaries : summary list }
+type result = {
+  scale : float;
+  trials : trial list;
+  summaries : summary list;
+  cyclic_routesets : int;
+}
 
 let replay_of (outcome : Executor.outcome) =
   {
@@ -104,10 +110,19 @@ let run ?(scale = 0.12) ?(n_graphs = 3) ?(n_trials = 4) () =
           (fun t ->
             let seed = (graph * 100) + t in
             let faults = Fault_set.sample ~seed ~platform ~horizon () in
+            (* The BFS detour routes carry no deadlock-freedom guarantee:
+               record whether their channel-dependency graph is cyclic. *)
+            let cyclic_cdg =
+              not
+                (Noc_analysis.Cdg.is_acyclic
+                   (Noc_analysis.Deadlock.cdg_of_degraded
+                      (Fault_set.degraded faults platform)))
+            in
             {
               graph;
               seed;
               faults = Fault_set.key faults;
+              cyclic_cdg;
               eas = run_algo_trial platform ctg ~faults eas_schedule;
               edf = run_algo_trial platform ctg ~faults edf_schedule;
             })
@@ -122,12 +137,15 @@ let run ?(scale = 0.12) ?(n_graphs = 3) ?(n_trials = 4) () =
         summarise Runner.Eas (fun t -> t.eas) trials;
         summarise Runner.Edf (fun t -> t.edf) trials;
       ];
+    cyclic_routesets =
+      List.length (List.filter (fun t -> t.cyclic_cdg) trials);
   }
 
 let render result =
   let header =
     [
-      "graph"; "seed"; "faults"; "EAS naive"; "EAS resched"; "EDF naive"; "EDF resched";
+      "graph"; "seed"; "faults"; "detour CDG"; "EAS naive"; "EAS resched";
+      "EDF naive"; "EDF resched";
     ]
   in
   let outcome_of a =
@@ -145,8 +163,9 @@ let render result =
         let eas_naive, eas_resched = outcome_of t.eas in
         let edf_naive, edf_resched = outcome_of t.edf in
         [
-          string_of_int t.graph; string_of_int t.seed; t.faults; eas_naive; eas_resched;
-          edf_naive; edf_resched;
+          string_of_int t.graph; string_of_int t.seed; t.faults;
+          (if t.cyclic_cdg then "CYCLIC" else "acyclic");
+          eas_naive; eas_resched; edf_naive; edf_resched;
         ])
       result.trials
   in
@@ -161,12 +180,19 @@ let render result =
           s.trials s.total_migrated s.total_rerouted)
       result.summaries
   in
-  Printf.sprintf "%s\n%s\n" table (String.concat "\n" summary_lines)
+  let cdg_line =
+    Printf.sprintf
+      "detour routing: %d/%d fault sets yield a cyclic channel-dependency graph \
+       (deadlock-prone under wormhole switching)"
+      result.cyclic_routesets
+      (List.length result.trials)
+  in
+  Printf.sprintf "%s\n%s\n%s\n" table (String.concat "\n" summary_lines) cdg_line
 
 let to_json result =
   let buf = Buffer.create 2048 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"nocsched/bench-faults/v1\",\n";
+  Buffer.add_string buf "  \"schema\": \"nocsched/bench-faults/v2\",\n";
   Buffer.add_string buf (Printf.sprintf "  \"scale\": %g,\n" result.scale);
   Buffer.add_string buf "  \"trials\": [\n";
   let algo_json a =
@@ -185,10 +211,10 @@ let to_json result =
     (fun i t ->
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"graph\": %d, \"seed\": %d, \"faults\": %S,\n\
+           "    {\"graph\": %d, \"seed\": %d, \"faults\": %S, \"cyclic_cdg\": %b,\n\
            \     \"eas\": %s,\n\
            \     \"edf\": %s}%s\n"
-           t.graph t.seed t.faults (algo_json t.eas) (algo_json t.edf)
+           t.graph t.seed t.faults t.cyclic_cdg (algo_json t.eas) (algo_json t.edf)
            (if i = List.length result.trials - 1 then "" else ",")))
     result.trials;
   Buffer.add_string buf "  ],\n";
@@ -203,5 +229,8 @@ let to_json result =
            s.total_migrated s.total_rerouted
            (if i = List.length result.summaries - 1 then "" else ",")))
     result.summaries;
-  Buffer.add_string buf "  ]\n}\n";
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"cyclic_routesets\": %d\n" result.cyclic_routesets);
+  Buffer.add_string buf "}\n";
   Buffer.contents buf

@@ -33,6 +33,10 @@ type trial = {
   graph : int;
   seed : int;
   faults : string;  (** {!Noc_fault.Fault_set.key} of the sampled set. *)
+  cyclic_cdg : bool;
+      (** The degraded BFS detour route set has a cyclic
+          channel-dependency graph, i.e. it is deadlock-prone under
+          wormhole switching ({!Noc_analysis.Deadlock}). *)
   eas : algo_trial;
   edf : algo_trial;
 }
@@ -46,7 +50,12 @@ type summary = {
   total_rerouted : int;
 }
 
-type result = { scale : float; trials : trial list; summaries : summary list }
+type result = {
+  scale : float;
+  trials : trial list;
+  summaries : summary list;
+  cyclic_routesets : int;  (** Trials whose detour-route CDG is cyclic. *)
+}
 
 val run : ?scale:float -> ?n_graphs:int -> ?n_trials:int -> unit -> result
 (** Defaults: 3 graphs at scale 0.12 (~60 tasks), 4 fault sets each. *)

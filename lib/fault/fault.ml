@@ -57,51 +57,77 @@ let to_string t =
   | Link l -> Printf.sprintf "link:%d-%d" l.Noc_noc.Routing.from_node l.to_node)
   ^ window_to_string t
 
-let parse_window spec =
-  match String.index_opt spec '@' with
-  | None -> Ok (spec, 0., infinity)
-  | Some at ->
-    let body = String.sub spec 0 at in
-    let window = String.sub spec (at + 1) (String.length spec - at - 1) in
-    (match String.split_on_char ':' window with
-    | [ from_s; until_s ] ->
-      let bound s default =
-        if s = "" then Ok default
-        else
-          match float_of_string_opt s with
-          | Some v -> Ok v
-          | None -> Error (Printf.sprintf "bad time %S" s)
-      in
-      (match (bound from_s 0., bound until_s infinity) with
-      | Ok f, Ok u ->
-        if f >= 0. && u > f then Ok (body, f, u)
-        else Error "fault window must be non-empty and start at t >= 0"
-      | Error e, _ | _, Error e -> Error e)
-    | [ _ ] | [] | _ ->
-      Error (Printf.sprintf "bad fault window %S (want @FROM:UNTIL)" window))
-
-let of_string spec =
-  match parse_window (String.trim spec) with
+(* Position-tracked parsing: every failure names the offending token and
+   the 0-based character position where it starts in the original input,
+   so a typo deep inside "link:12-1x@100:200" is pinpointed rather than
+   reported as a generic bad spec. *)
+let of_string spec0 =
+  let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r' || c = '\012' in
+  let leading =
+    let n = String.length spec0 in
+    let rec skip i = if i < n && is_space spec0.[i] then skip (i + 1) else i in
+    skip 0
+  in
+  let spec = String.trim spec0 in
+  (* [at] is an offset into the trimmed spec; report it in the input's
+     own coordinates. *)
+  let fail ~at ~token what =
+    Error (Printf.sprintf "%s %S at character %d" what token (leading + at))
+  in
+  let parse_window () =
+    match String.index_opt spec '@' with
+    | None -> Ok (spec, 0., infinity)
+    | Some at_sign -> (
+      let body = String.sub spec 0 at_sign in
+      let window = String.sub spec (at_sign + 1) (String.length spec - at_sign - 1) in
+      match String.split_on_char ':' window with
+      | [ from_s; until_s ] -> (
+        let bound ~at ~what s default =
+          if s = "" then Ok default
+          else
+            match float_of_string_opt s with
+            | Some v -> Ok v
+            | None -> fail ~at ~token:s what
+        in
+        let from_at = at_sign + 1 in
+        let until_at = at_sign + 2 + String.length from_s in
+        match
+          ( bound ~at:from_at ~what:"bad fault onset time" from_s 0.,
+            bound ~at:until_at ~what:"bad fault end time" until_s infinity )
+        with
+        | Ok f, Ok u ->
+          if f >= 0. && u > f then Ok (body, f, u)
+          else
+            fail ~at:from_at ~token:window
+              "empty or negative fault window (need 0 <= FROM < UNTIL)"
+        | (Error _ as e), _ | _, (Error _ as e) -> e)
+      | [ _ ] | [] | _ ->
+        fail ~at:(at_sign + 1) ~token:window "bad fault window (want @FROM:UNTIL)")
+  in
+  match parse_window () with
   | Error _ as e -> e
   | Ok (body, from_time, until_time) -> (
     match String.split_on_char ':' body with
     | [ "pe"; index ] -> (
       match int_of_string_opt index with
       | Some i when i >= 0 -> Ok { element = Pe i; from_time; until_time }
-      | Some _ | None -> Error (Printf.sprintf "bad PE index %S" index))
+      | Some _ | None -> fail ~at:3 ~token:index "bad PE index")
     | [ "link"; ends ] -> (
+      let ends_at = 5 in
       match String.split_on_char '-' ends with
       | [ a; b ] -> (
         match (int_of_string_opt a, int_of_string_opt b) with
-        | Some from_node, Some to_node when from_node >= 0 && to_node >= 0 && from_node <> to_node
-          ->
-          Ok { element = Link { from_node; to_node }; from_time; until_time }
-        | _ -> Error (Printf.sprintf "bad link endpoints %S" ends))
-      | _ -> Error (Printf.sprintf "bad link endpoints %S (want A-B)" ends))
-    | _ ->
-      Error
-        (Printf.sprintf "bad fault %S (want pe:N or link:A-B, optionally @FROM:UNTIL)"
-           spec))
+        | None, _ -> fail ~at:ends_at ~token:a "bad link endpoint"
+        | _, None -> fail ~at:(ends_at + String.length a + 1) ~token:b "bad link endpoint"
+        | Some from_node, Some to_node ->
+          if from_node < 0 then fail ~at:ends_at ~token:a "negative link endpoint"
+          else if to_node < 0 then
+            fail ~at:(ends_at + String.length a + 1) ~token:b "negative link endpoint"
+          else if from_node = to_node then
+            fail ~at:ends_at ~token:ends "link endpoints must differ"
+          else Ok { element = Link { from_node; to_node }; from_time; until_time })
+      | _ -> fail ~at:ends_at ~token:ends "bad link endpoints (want A-B)")
+    | _ -> fail ~at:0 ~token:body "bad fault element (want pe:N or link:A-B)")
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)
 

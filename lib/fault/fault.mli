@@ -32,7 +32,10 @@ val of_string : string -> (t, string) result
 (** Parses the CLI syntax: [pe:N] or [link:A-B], optionally followed by
     [@FROM:UNTIL] with either bound omitted. ["pe:2@100:"] fails PE 2
     from t = 100 on; ["link:3-7@10:20"] takes the directed link 3->7
-    down during [10, 20); bare ["pe:2"] is permanent from time 0. *)
+    down during [10, 20); bare ["pe:2"] is permanent from time 0.
+    Parse errors name the offending token and the character position
+    where it starts: parsing ["link:12-1x"] fails with
+    [bad link endpoint "1x" at character 8]. *)
 
 val to_string : t -> string
 (** Canonical inverse of {!of_string}. *)

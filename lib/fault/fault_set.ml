@@ -21,7 +21,7 @@ let of_strings specs =
     | spec :: rest -> (
       match Fault.of_string spec with
       | Ok f -> go (f :: acc) rest
-      | Error _ as e -> e)
+      | Error msg -> Error (Printf.sprintf "fault %S: %s" spec msg))
   in
   go [] specs
 

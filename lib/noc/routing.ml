@@ -79,5 +79,14 @@ let all_links topo =
   done;
   !acc
 
+let bisection_links topo =
+  let cols = Topology.cols topo and rows = Topology.rows topo in
+  (* Halve the longer axis so a 1xN chain still has a real bisection. *)
+  let side i =
+    let x, y = Topology.coords topo i in
+    if cols > 1 then x < cols / 2 else y < rows / 2
+  in
+  List.filter (fun l -> side l.from_node <> side l.to_node) (all_links topo)
+
 let link_equal a b = a.from_node = b.from_node && a.to_node = b.to_node
 let pp_link ppf l = Format.fprintf ppf "%d->%d" l.from_node l.to_node

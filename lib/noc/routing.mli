@@ -34,5 +34,13 @@ val all_links : Topology.t -> link list
 (** Every directed physical channel of the topology, deterministically
     ordered. *)
 
+val bisection_links : Topology.t -> link list
+(** The directed links crossing the midline bisection of the tile set
+    (columns [0 .. cols/2 - 1] against the rest; rows when the topology
+    is a single column). On a torus the wrap-around links cross too.
+    Their aggregate bandwidth bounds the traffic any schedule can move
+    between the two halves per time unit — the capacity the
+    [platform/bisection-bandwidth] lint checks against. *)
+
 val link_equal : link -> link -> bool
 val pp_link : Format.formatter -> link -> unit

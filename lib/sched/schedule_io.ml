@@ -13,8 +13,12 @@ let to_string schedule =
     (Schedule.placements schedule);
   Array.iter
     (fun (tr : Schedule.transaction) ->
+      (* A same-tile transfer may carry an empty route in memory; the
+         file format canonicalises it to the single shared tile so the
+         [via] field is never empty. *)
+      let route = match tr.route with [] -> [ tr.src_pe ] | route -> route in
       add "trans %d via %s start %s finish %s\n" tr.edge
-        (String.concat "," (List.map string_of_int tr.route))
+        (String.concat "," (List.map string_of_int route))
         (float_to_string tr.start) (float_to_string tr.finish))
     (Schedule.transactions schedule);
   Buffer.contents buf

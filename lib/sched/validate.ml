@@ -22,11 +22,16 @@ let pp_violation ppf = function
    only along topology links and reserves no link twice. The walk need
    NOT be the platform's deterministic route — degraded-platform
    reschedules legitimately record detours — unless the caller opts into
-   [strict_routes]. *)
+   [strict_routes]. Same-tile transfers use no network at all, so they
+   may record either the empty route or the single shared tile (the v2
+   schedule loader and the schedulers produce the latter, hand-built
+   schedules often the former). *)
 let route_walk_error platform (tr : Schedule.transaction) =
   let topology = Noc_noc.Platform.topology platform in
   match tr.route with
-  | [] -> Some "has an empty route"
+  | [] ->
+    if tr.src_pe = tr.dst_pe then None
+    else Some "has an empty route between distinct tiles"
   | [ p ] ->
     if tr.src_pe <> tr.dst_pe then Some "has a single-node route between distinct tiles"
     else if p <> tr.src_pe then Some "same-tile route names the wrong tile"
@@ -94,6 +99,7 @@ let structural_checks ~eps ~strict_routes platform ctg schedule add =
           | None -> ());
           if
             strict_routes
+            && tr.src_pe <> tr.dst_pe
             && tr.route <> Noc_noc.Platform.route platform ~src:tr.src_pe ~dst:tr.dst_pe
           then
             malformed "transaction %d does not follow the deterministic route" tr.edge;

@@ -1,0 +1,553 @@
+(* Static-analysis layer tests: channel-dependency graphs and the
+   deadlock analyzer, one minimal failing fixture per lint rule, and the
+   independent schedule certifier exercised as a differential oracle
+   against Noc_sched.Validate over the golden corpus. *)
+
+module Cdg = Noc_analysis.Cdg
+module Deadlock = Noc_analysis.Deadlock
+module Ctg_lint = Noc_analysis.Ctg_lint
+module Platform_lint = Noc_analysis.Platform_lint
+module Certify = Noc_analysis.Certify
+module Diagnostic = Noc_analysis.Diagnostic
+module Task = Noc_ctg.Task
+module Edge = Noc_ctg.Edge
+module Schedule = Noc_sched.Schedule
+
+let rules ds = List.map (fun (d : Diagnostic.t) -> d.rule) ds
+
+let count_rule rule ds =
+  List.length (List.filter (fun (d : Diagnostic.t) -> d.rule = rule) ds)
+
+let check_rules = Alcotest.(check (list string))
+
+let faults_exn specs =
+  match Noc_fault.Fault_set.of_strings specs with
+  | Ok f -> f
+  | Error msg -> Alcotest.failf "fault specs rejected: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* Channel-dependency graphs                                           *)
+
+let test_cdg_counts () =
+  let cdg = Cdg.of_routes [ [ 0; 1; 2 ]; [ 1; 2; 3 ] ] in
+  Alcotest.(check int) "channels" 3 (Cdg.n_channels cdg);
+  Alcotest.(check int) "dependencies" 2 (Cdg.n_dependencies cdg);
+  Alcotest.(check bool) "acyclic" true (Cdg.is_acyclic cdg);
+  (* Routes shorter than one channel contribute nothing. *)
+  let empty = Cdg.of_routes [ []; [ 7 ] ] in
+  Alcotest.(check int) "no channels" 0 (Cdg.n_channels empty);
+  Alcotest.(check bool) "trivially acyclic" true (Cdg.is_acyclic empty)
+
+(* Each consecutive pair of cycle channels must share the middle router
+   (dependency a -> b means some route uses b immediately after a), and
+   the last channel must chain back to the first. *)
+let assert_closed_chain cycle =
+  let open Noc_noc.Routing in
+  let rec pairs = function
+    | (a : link) :: (b :: _ as rest) ->
+      Alcotest.(check int) "chained channels" a.to_node b.from_node;
+      pairs rest
+    | [ _ ] | [] -> ()
+  in
+  pairs cycle;
+  match (cycle, List.rev cycle) with
+  | first :: _, last :: _ ->
+    Alcotest.(check int) "cycle closes" last.to_node first.from_node
+  | [], _ | _, [] -> Alcotest.fail "empty cycle"
+
+let test_cdg_hand_built_cycle () =
+  (* Three routes chasing each other around a triangle. *)
+  let routes = [ [ 0; 1; 2 ]; [ 1; 2; 0 ]; [ 2; 0; 1 ] ] in
+  let cdg = Cdg.of_routes routes in
+  Alcotest.(check bool) "cyclic" false (Cdg.is_acyclic cdg);
+  match (Cdg.find_cycle cdg, Cdg.find_cycle (Cdg.of_routes routes)) with
+  | Some c1, Some c2 ->
+    Alcotest.(check bool) "deterministic cycle" true (c1 = c2);
+    Alcotest.(check int) "three channels" 3 (List.length c1);
+    assert_closed_chain c1
+  | None, _ | _, None -> Alcotest.fail "cycle not found"
+
+let test_mesh_xy_deadlock_free () =
+  (* The acceptance sweep: XY on every mesh from 2x2 to 8x8 is provably
+     deadlock-free. *)
+  for cols = 2 to 8 do
+    for rows = 2 to 8 do
+      let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:1 ~cols ~rows () in
+      check_rules (Printf.sprintf "mesh %dx%d" cols rows) []
+        (rules (Deadlock.check_platform platform))
+    done
+  done
+
+let qcheck_mesh_xy_acyclic =
+  QCheck.Test.make ~name:"XY CDG on random meshes is acyclic" ~count:60
+    QCheck.(pair (int_range 2 8) (int_range 2 8))
+    (fun (cols, rows) ->
+      Cdg.is_acyclic
+        (Deadlock.cdg_of_platform
+           (Noc_noc.Platform.heterogeneous_mesh ~seed:7 ~cols ~rows ())))
+
+let qcheck_torus_xy_cycle_law =
+  (* Shorter-wrap XY on a torus is deadlock-free exactly when every ring
+     is short enough (<= 3 tiles) that no route wraps: any ring of 4 or
+     more creates a circular wait along that dimension. *)
+  QCheck.Test.make ~name:"torus CDG cyclic iff some ring has >= 4 tiles" ~count:40
+    QCheck.(pair (int_range 2 6) (int_range 2 6))
+    (fun (cols, rows) ->
+      let platform =
+        Noc_noc.Platform.heterogeneous ~seed:7 (Noc_noc.Topology.torus ~cols ~rows) ()
+      in
+      let acyclic = Cdg.is_acyclic (Deadlock.cdg_of_platform platform) in
+      acyclic = (max cols rows <= 3))
+
+let test_degraded_cycle_under_faults () =
+  (* Two link faults on the 4x4 mesh bend the BFS detours into a
+     circular wait the healthy XY routes could never form. *)
+  let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols:4 ~rows:4 () in
+  let faults = faults_exn [ "link:5-6"; "link:9-5" ] in
+  let diagnostics = Deadlock.check_degraded platform faults in
+  check_rules "one cycle, no disconnection" [ "deadlock/cyclic-cdg" ]
+    (rules diagnostics);
+  match diagnostics with
+  | [ { Diagnostic.location = Diagnostic.Channel_cycle cycle; severity; _ } ] ->
+    Alcotest.(check bool) "error severity" true (severity = Diagnostic.Error);
+    assert_closed_chain cycle
+  | _ -> Alcotest.fail "expected a channel-cycle location"
+
+let test_degraded_single_fault_stays_clean () =
+  (* One failed link reroutes without creating a cycle on the 4x4 mesh —
+     the Monte-Carlo campaign's 0-cyclic result in miniature. *)
+  let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols:4 ~rows:4 () in
+  check_rules "single link fault" []
+    (rules (Deadlock.check_degraded platform (faults_exn [ "link:5-6" ])))
+
+let test_degraded_unreachable_pairs () =
+  (* Failing both links into tile 3 of a 2x2 mesh cuts it off from every
+     source while its own outgoing routes survive. *)
+  let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:1 ~cols:2 ~rows:2 () in
+  let faults = faults_exn [ "link:1-3"; "link:2-3" ] in
+  let diagnostics = Deadlock.check_degraded platform faults in
+  Alcotest.(check int) "three unreachable pairs" 3
+    (count_rule "deadlock/unreachable-pair" diagnostics);
+  Alcotest.(check int) "nothing else" 3 (List.length diagnostics)
+
+(* ------------------------------------------------------------------ *)
+(* CTG lint: one minimal failing fixture per rule.                     *)
+
+let task ?release ?deadline ~id exec_times =
+  Task.make ~id ~exec_times ~energies:(Array.map (fun _ -> 1.) exec_times) ?release
+    ?deadline ()
+
+let test_lint_empty_graph () =
+  check_rules "empty graph" [ "ctg/empty-graph" ]
+    (rules (Ctg_lint.check_raw ~n_pes:4 ~tasks:[||] ~edges:[||]))
+
+let test_lint_pe_count_mismatch () =
+  let tasks = [| task ~id:0 [| 1.; 1. |] |] in
+  check_rules "pe count" [ "ctg/pe-count-mismatch" ]
+    (rules (Ctg_lint.check_raw ~n_pes:4 ~tasks ~edges:[||]))
+
+let test_lint_dangling_edge () =
+  let tasks = [| task ~id:0 [| 1. |]; task ~id:1 [| 1. |] |] in
+  let edges = [| Edge.make ~id:0 ~src:0 ~dst:5 ~volume:8. |] in
+  check_rules "dangling" [ "ctg/dangling-edge" ]
+    (rules (Ctg_lint.check_raw ~n_pes:1 ~tasks ~edges))
+
+let test_lint_duplicate_edge () =
+  let tasks = [| task ~id:0 [| 1. |]; task ~id:1 [| 1. |] |] in
+  let edges =
+    [| Edge.make ~id:0 ~src:0 ~dst:1 ~volume:8.;
+       Edge.make ~id:1 ~src:0 ~dst:1 ~volume:16. |]
+  in
+  let diagnostics = Ctg_lint.check_raw ~n_pes:1 ~tasks ~edges in
+  check_rules "duplicate" [ "ctg/duplicate-edge" ] (rules diagnostics);
+  match diagnostics with
+  | [ { Diagnostic.location = Diagnostic.Edge 1; _ } ] -> ()
+  | _ -> Alcotest.fail "the second arc is the duplicate"
+
+let test_lint_cycle () =
+  let tasks = [| task ~id:0 [| 1. |]; task ~id:1 [| 1. |] |] in
+  let edges =
+    [| Edge.make ~id:0 ~src:0 ~dst:1 ~volume:0.;
+       Edge.make ~id:1 ~src:1 ~dst:0 ~volume:0. |]
+  in
+  check_rules "cycle" [ "ctg/cycle" ]
+    (rules (Ctg_lint.check_raw ~n_pes:1 ~tasks ~edges))
+
+let test_lint_unreachable_task () =
+  let tasks =
+    [| task ~id:0 [| 1. |]; task ~id:1 [| 1. |]; task ~id:2 [| 1. |] |]
+  in
+  let edges = [| Edge.make ~id:0 ~src:0 ~dst:1 ~volume:8. |] in
+  let diagnostics = Ctg_lint.check_raw ~n_pes:1 ~tasks ~edges in
+  check_rules "isolated task" [ "ctg/unreachable-task" ] (rules diagnostics);
+  match diagnostics with
+  | [ { Diagnostic.location = Diagnostic.Task 2; severity; _ } ] ->
+    Alcotest.(check bool) "warning, not error" true (severity = Diagnostic.Warning)
+  | _ -> Alcotest.fail "task 2 is the isolated one"
+
+let test_lint_no_feasible_variant () =
+  (* Fastest variant takes 10 against a 5-wide window: every placement
+     misses, whatever the rest of the schedule does. *)
+  let tasks = [| task ~id:0 [| 10.; 12. |] ~deadline:5. |] in
+  check_rules "window too small" [ "ctg/no-feasible-variant" ]
+    (rules (Ctg_lint.check_raw ~n_pes:2 ~tasks ~edges:[||]))
+
+let test_lint_deadline_infeasible () =
+  (* Each task fits its own window, but the chain's critical-path lower
+     bound (10 + 10 = 20) proves the 15-deadline unreachable. *)
+  let tasks = [| task ~id:0 [| 10. |]; task ~id:1 [| 10. |] ~deadline:15. |] in
+  let edges = [| Edge.make ~id:0 ~src:0 ~dst:1 ~volume:8. |] in
+  check_rules "chain bound exceeds deadline" [ "ctg/deadline-infeasible" ]
+    (rules (Ctg_lint.check_raw ~n_pes:1 ~tasks ~edges))
+
+let test_lint_generated_graphs_error_free () =
+  (* TGFF graphs must never trip an error-severity rule. Warnings are
+     genuine findings the generator can legitimately produce — seed 4
+     of the corpus params emits an isolated task, which the
+     unreachable-task lint correctly surfaces. *)
+  let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:3 ~cols:3 ~rows:3 () in
+  let params = { Noc_tgff.Params.default with n_tasks = 24; max_layer_width = 5 } in
+  for seed = 0 to 4 do
+    let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
+    let diagnostics = Ctg_lint.check ctg in
+    let errors, _, _ = Diagnostic.count diagnostics in
+    Alcotest.(check int) (Printf.sprintf "tgff seed %d errors" seed) 0 errors;
+    List.iter
+      (fun (d : Diagnostic.t) ->
+        Alcotest.(check string)
+          (Printf.sprintf "tgff seed %d warning rule" seed)
+          "ctg/unreachable-task" d.rule)
+      diagnostics
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Platform lint                                                       *)
+
+let test_platform_lint_clean_fabrics () =
+  List.iter
+    (fun (name, topology) ->
+      let platform = Noc_noc.Platform.heterogeneous ~seed:5 topology () in
+      check_rules name [] (rules (Platform_lint.check platform)))
+    [
+      ("mesh", Noc_noc.Topology.mesh ~cols:4 ~rows:4);
+      ("torus", Noc_noc.Topology.torus ~cols:4 ~rows:4);
+      ("honeycomb", Noc_noc.Topology.honeycomb ~cols:4 ~rows:4);
+    ]
+
+let test_platform_lint_bisection_bandwidth () =
+  (* A gigabit of traffic against a 4-link bisection of a 2x2 mesh at
+     default bandwidth needs ~78125 time units; the 10-unit deadline is
+     hopeless for any placement that splits the two tasks across the
+     midline. *)
+  let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:1 ~cols:2 ~rows:2 () in
+  let ctg =
+    Noc_ctg.Ctg.make_exn
+      ~tasks:
+        [| task ~id:0 [| 1.; 1.; 1.; 1. |];
+           task ~id:1 [| 1.; 1.; 1.; 1. |] ~deadline:10. |]
+      ~edges:[| Edge.make ~id:0 ~src:0 ~dst:1 ~volume:1e9 |]
+  in
+  let diagnostics = Platform_lint.check ~ctg platform in
+  check_rules "capacity smell" [ "platform/bisection-bandwidth" ] (rules diagnostics);
+  Alcotest.(check int) "warning severity" 1
+    (let _, warnings, _ = Diagnostic.count diagnostics in
+     warnings);
+  (* The same graph with a realistic volume passes. *)
+  let light =
+    Noc_ctg.Ctg.make_exn
+      ~tasks:
+        [| task ~id:0 [| 1.; 1.; 1.; 1. |];
+           task ~id:1 [| 1.; 1.; 1.; 1. |] ~deadline:10. |]
+      ~edges:[| Edge.make ~id:0 ~src:0 ~dst:1 ~volume:64. |]
+  in
+  check_rules "light traffic" [] (rules (Platform_lint.check ~ctg:light platform))
+
+(* ------------------------------------------------------------------ *)
+(* Schedule certifier                                                  *)
+
+(* The golden corpus of test_oracle.ml: 3x3 heterogeneous platform,
+   24-task graphs, 50 seeds, all four schedulers. *)
+let corpus_platform = Noc_noc.Platform.heterogeneous_mesh ~seed:3 ~cols:3 ~rows:3 ()
+
+let corpus_params =
+  { Noc_tgff.Params.default with n_tasks = 24; max_layer_width = 5 }
+
+let corpus_ctg seed =
+  Noc_tgff.Generate.generate ~params:corpus_params ~platform:corpus_platform ~seed
+
+let corpus_schedulers =
+  [
+    ("EAS", fun ctg -> (Noc_eas.Eas.schedule corpus_platform ctg).Noc_eas.Eas.schedule);
+    ("EDF", fun ctg -> (Noc_edf.Edf.schedule corpus_platform ctg).Noc_edf.Edf.schedule);
+    ( "DLS",
+      fun ctg -> (Noc_baselines.Dls.schedule corpus_platform ctg).Noc_baselines.Dls.schedule );
+    ( "energy-greedy",
+      fun ctg ->
+        (Noc_baselines.Energy_greedy.schedule corpus_platform ctg)
+          .Noc_baselines.Energy_greedy.schedule );
+  ]
+
+let test_golden_corpus_certifies () =
+  (* Every scheduler output over all 50 seeds certifies: the only
+     diagnostics the independent re-verification may raise are the
+     deadline misses Metrics already reports, and exactly as many. The
+     claimed energy must reproduce under the certifier's own Eq. 3
+     derivation (diagnostic-free, hence no energy-mismatch warnings). *)
+  for seed = 0 to 49 do
+    let ctg = corpus_ctg seed in
+    List.iter
+      (fun (name, scheduler) ->
+        let schedule = scheduler ctg in
+        let metrics = Noc_sched.Metrics.compute corpus_platform ctg schedule in
+        let diagnostics =
+          Certify.check ~claimed_energy:metrics.Noc_sched.Metrics.total_energy
+            corpus_platform ctg schedule
+        in
+        let off_rule =
+          List.filter (fun (d : Diagnostic.t) -> d.rule <> "sched/deadline") diagnostics
+        in
+        if off_rule <> [] then
+          Alcotest.failf "%s seed %d: unexpected diagnostics: %s" name seed
+            (String.concat ", " (rules off_rule));
+        Alcotest.(check int)
+          (Printf.sprintf "%s seed %d: certifier misses = Metrics misses" name seed)
+          (Noc_sched.Metrics.miss_count metrics)
+          (count_rule "sched/deadline" diagnostics))
+      corpus_schedulers
+  done
+
+let eas_schedule seed =
+  let ctg = corpus_ctg seed in
+  (ctg, (Noc_eas.Eas.schedule corpus_platform ctg).Noc_eas.Eas.schedule)
+
+(* An edge whose transaction actually travels, so mutations below have a
+   network leg to corrupt. *)
+let multi_hop_edge schedule =
+  let found = ref None in
+  Array.iter
+    (fun (tr : Schedule.transaction) ->
+      if !found = None && List.length tr.route >= 2 then found := Some tr.edge)
+    (Schedule.transactions schedule);
+  match !found with
+  | Some e -> e
+  | None -> Alcotest.fail "corpus schedule has no multi-hop transaction"
+
+let mutate_placement schedule ~task f =
+  let placements = Array.copy (Schedule.placements schedule) in
+  placements.(task) <- f placements.(task);
+  Schedule.make ~placements ~transactions:(Schedule.transactions schedule)
+
+let test_certifier_rejects_shifted_start () =
+  let ctg, schedule = eas_schedule 0 in
+  let edge = Noc_ctg.Ctg.edge ctg (multi_hop_edge schedule) in
+  (* Slide the sender's whole window far past its recorded transaction:
+     the placement itself stays well-formed, so the breakage is pure
+     ordering — the data now departs before it is produced. *)
+  let mutated =
+    mutate_placement schedule ~task:edge.Edge.src (fun p ->
+        { p with Schedule.start = p.start +. 1e4; finish = p.finish +. 1e4 })
+  in
+  let diagnostics = Certify.check corpus_platform ctg mutated in
+  Alcotest.(check bool) "precedence violated" true
+    (List.mem "sched/precedence" (rules diagnostics));
+  Alcotest.(check bool) "not certified" false
+    (Certify.certifies corpus_platform ctg mutated)
+
+let test_certifier_rejects_swapped_pe () =
+  let ctg, schedule = eas_schedule 0 in
+  let edge = Noc_ctg.Ctg.edge ctg (multi_hop_edge schedule) in
+  let n = Noc_noc.Platform.n_pes corpus_platform in
+  let mutated =
+    mutate_placement schedule ~task:edge.Edge.src (fun p ->
+        { p with Schedule.pe = (p.pe + 1) mod n })
+  in
+  let diagnostics = Certify.check corpus_platform ctg mutated in
+  Alcotest.(check bool) "transaction endpoint mismatch" true
+    (List.mem "sched/endpoint-pe" (rules diagnostics));
+  Alcotest.(check bool) "not certified" false
+    (Certify.certifies corpus_platform ctg mutated)
+
+let test_certifier_rejects_truncated_route () =
+  let ctg, schedule = eas_schedule 0 in
+  let target = multi_hop_edge schedule in
+  let transactions = Array.copy (Schedule.transactions schedule) in
+  let tr = transactions.(target) in
+  let truncated = List.filteri (fun i _ -> i < List.length tr.route - 1) tr.route in
+  transactions.(target) <- { tr with Schedule.route = truncated };
+  let mutated =
+    Schedule.make ~placements:(Schedule.placements schedule) ~transactions
+  in
+  let diagnostics = Certify.check corpus_platform ctg mutated in
+  Alcotest.(check bool) "route walk broken" true
+    (List.mem "sched/route-walk" (rules diagnostics));
+  Alcotest.(check bool) "not certified" false
+    (Certify.certifies corpus_platform ctg mutated)
+
+(* ------------------------------------------------------------------ *)
+(* Same-tile transfers: empty route and single-tile route are both
+   legal, in the certifier, in Validate (the satellite bugfix) and
+   through a Schedule_io round trip.                                   *)
+
+let same_tile_fixture route =
+  let platform = Noc_noc.Platform.homogeneous_mesh ~cols:2 ~rows:2 in
+  let ctg =
+    Noc_ctg.Ctg.make_exn
+      ~tasks:
+        [| task ~id:0 [| 2.; 2.; 2.; 2. |]; task ~id:1 [| 3.; 3.; 3.; 3. |] |]
+      ~edges:[| Edge.make ~id:0 ~src:0 ~dst:1 ~volume:64. |]
+  in
+  let schedule =
+    Schedule.make
+      ~placements:
+        [| { Schedule.task = 0; pe = 1; start = 0.; finish = 2. };
+           { Schedule.task = 1; pe = 1; start = 2.; finish = 5. } |]
+      ~transactions:
+        [| { Schedule.edge = 0; src_pe = 1; dst_pe = 1; route; start = 2.; finish = 2. } |]
+  in
+  (platform, ctg, schedule)
+
+let test_same_tile_routes_accepted () =
+  List.iter
+    (fun (name, route) ->
+      let platform, ctg, schedule = same_tile_fixture route in
+      check_rules (name ^ ": certifier") [] (rules (Certify.check platform ctg schedule));
+      Alcotest.(check int)
+        (name ^ ": Validate agrees")
+        0
+        (List.length (Noc_sched.Validate.check platform ctg schedule)))
+    [ ("empty route", []); ("single shared tile", [ 1 ]) ]
+
+let test_same_tile_wrong_tile_rejected () =
+  let platform, ctg, schedule = same_tile_fixture [ 2 ] in
+  check_rules "wrong tile" [ "sched/route-walk" ]
+    (rules (Certify.check platform ctg schedule))
+
+let test_same_tile_io_round_trip () =
+  let platform, ctg, schedule = same_tile_fixture [] in
+  let path = Filename.temp_file "nocsched_same_tile" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Noc_sched.Schedule_io.save ~path schedule;
+      match Noc_sched.Schedule_io.load ~path platform ctg with
+      | Error msg -> Alcotest.failf "round trip failed: %s" msg
+      | Ok loaded ->
+        (* The writer canonicalises the empty route to the shared tile. *)
+        Alcotest.(check (list int))
+          "canonical single-tile route" [ 1 ]
+          (Schedule.transaction loaded 0).Schedule.route;
+        check_rules "still certifies" [] (rules (Certify.check platform ctg loaded)))
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostics: ordering, exit codes, JSON stability                   *)
+
+let sample_diagnostics () =
+  [
+    Diagnostic.info ~rule:"platform/unused-link"
+      (Diagnostic.Link { Noc_noc.Routing.from_node = 0; to_node = 1 })
+      "idle channel";
+    Diagnostic.error ~rule:"sched/precedence" (Diagnostic.Edge 3) "data before work";
+    Diagnostic.warning ~rule:"sched/energy-mismatch" Diagnostic.Nowhere "off by 1";
+    Diagnostic.error ~rule:"ctg/cycle" Diagnostic.Nowhere "loop";
+  ]
+
+let test_diagnostic_order_and_exit_codes () =
+  let sorted = Diagnostic.sort (sample_diagnostics ()) in
+  check_rules "errors first, then rule id"
+    [ "ctg/cycle"; "sched/precedence"; "sched/energy-mismatch"; "platform/unused-link" ]
+    (rules sorted);
+  Alcotest.(check int) "errors exit 2" 2 (Diagnostic.exit_code sorted);
+  Alcotest.(check int) "warnings exit 1" 1
+    (Diagnostic.exit_code
+       [ Diagnostic.warning ~rule:"w" Diagnostic.Nowhere "w" ]);
+  Alcotest.(check int) "infos exit 0" 0
+    (Diagnostic.exit_code [ Diagnostic.info ~rule:"i" Diagnostic.Nowhere "i" ]);
+  Alcotest.(check int) "clean exit 0" 0 (Diagnostic.exit_code [])
+
+let test_diagnostic_json_stable () =
+  let a = Diagnostic.to_json (sample_diagnostics ()) in
+  let b = Diagnostic.to_json (List.rev (sample_diagnostics ())) in
+  Alcotest.(check string) "order-independent report" a b;
+  let contains needle =
+    let n = String.length needle and h = String.length a in
+    let rec go i = i + n <= h && (String.sub a i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "schema tag" true (contains "nocsched/analysis/v1");
+  Alcotest.(check bool) "summary counts" true
+    (contains "\"errors\": 2, \"warnings\": 1, \"infos\": 1")
+
+(* ------------------------------------------------------------------ *)
+(* Fault-spec parse errors carry character positions (satellite).      *)
+
+let test_fault_parse_positions () =
+  let check_error spec expected =
+    match Noc_fault.Fault.of_string spec with
+    | Ok _ -> Alcotest.failf "%S unexpectedly parsed" spec
+    | Error msg -> Alcotest.(check string) spec expected msg
+  in
+  check_error "link:12-1x" {|bad link endpoint "1x" at character 8|};
+  check_error "pe:2@1x:" {|bad fault onset time "1x" at character 5|};
+  check_error "pe:2@10:9x" {|bad fault end time "9x" at character 8|};
+  check_error "  pe:-3"
+    {|bad PE index "-3" at character 5|};
+  check_error "link:3-3" {|link endpoints must differ "3-3" at character 5|};
+  check_error "pe:1@20:10"
+    {|empty or negative fault window (need 0 <= FROM < UNTIL) "20:10" at character 5|};
+  check_error "dma:4" {|bad fault element (want pe:N or link:A-B) "dma:4" at character 0|};
+  match Noc_fault.Fault_set.of_strings [ "pe:0"; "link:7-7x" ] with
+  | Ok _ -> Alcotest.fail "bad set unexpectedly parsed"
+  | Error msg ->
+    Alcotest.(check string) "set error names the spec"
+      {|fault "link:7-7x": bad link endpoint "7x" at character 7|} msg
+
+let suite =
+  [
+    Alcotest.test_case "CDG channel and dependency counts" `Quick test_cdg_counts;
+    Alcotest.test_case "CDG finds a hand-built cycle deterministically" `Quick
+      test_cdg_hand_built_cycle;
+    Alcotest.test_case "XY on 2x2..8x8 meshes is deadlock-free" `Quick
+      test_mesh_xy_deadlock_free;
+    QCheck_alcotest.to_alcotest qcheck_mesh_xy_acyclic;
+    QCheck_alcotest.to_alcotest qcheck_torus_xy_cycle_law;
+    Alcotest.test_case "two link faults bend BFS detours into a cycle" `Quick
+      test_degraded_cycle_under_faults;
+    Alcotest.test_case "a single link fault detours without a cycle" `Quick
+      test_degraded_single_fault_stays_clean;
+    Alcotest.test_case "isolating faults report unreachable pairs" `Quick
+      test_degraded_unreachable_pairs;
+    Alcotest.test_case "lint: empty graph" `Quick test_lint_empty_graph;
+    Alcotest.test_case "lint: PE count mismatch" `Quick test_lint_pe_count_mismatch;
+    Alcotest.test_case "lint: dangling edge" `Quick test_lint_dangling_edge;
+    Alcotest.test_case "lint: duplicate edge" `Quick test_lint_duplicate_edge;
+    Alcotest.test_case "lint: dependency cycle" `Quick test_lint_cycle;
+    Alcotest.test_case "lint: unreachable task" `Quick test_lint_unreachable_task;
+    Alcotest.test_case "lint: no feasible variant" `Quick test_lint_no_feasible_variant;
+    Alcotest.test_case "lint: deadline infeasible by critical path" `Quick
+      test_lint_deadline_infeasible;
+    Alcotest.test_case "lint: generated graphs are error-free" `Quick
+      test_lint_generated_graphs_error_free;
+    Alcotest.test_case "platform lint: healthy fabrics are clean" `Quick
+      test_platform_lint_clean_fabrics;
+    Alcotest.test_case "platform lint: bisection bandwidth smell" `Quick
+      test_platform_lint_bisection_bandwidth;
+    Alcotest.test_case "certifier: golden corpus certifies (50 seeds x 4)" `Quick
+      test_golden_corpus_certifies;
+    Alcotest.test_case "certifier: rejects a shifted start" `Quick
+      test_certifier_rejects_shifted_start;
+    Alcotest.test_case "certifier: rejects a swapped PE" `Quick
+      test_certifier_rejects_swapped_pe;
+    Alcotest.test_case "certifier: rejects a truncated route" `Quick
+      test_certifier_rejects_truncated_route;
+    Alcotest.test_case "same-tile routes accepted by both checkers" `Quick
+      test_same_tile_routes_accepted;
+    Alcotest.test_case "same-tile route naming the wrong tile rejected" `Quick
+      test_same_tile_wrong_tile_rejected;
+    Alcotest.test_case "same-tile schedule round-trips through IO" `Quick
+      test_same_tile_io_round_trip;
+    Alcotest.test_case "diagnostics sort and exit codes" `Quick
+      test_diagnostic_order_and_exit_codes;
+    Alcotest.test_case "JSON report is stable" `Quick test_diagnostic_json_stable;
+    Alcotest.test_case "fault parse errors carry positions" `Quick
+      test_fault_parse_positions;
+  ]

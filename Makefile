@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json quick-bench analyze verify examples doc clean
+.PHONY: all build test bench bench-json bench-parallel quick-bench analyze verify examples doc clean
 
 all: build
 
@@ -27,6 +27,14 @@ quick-bench:
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_timeline.json
 
+# Parallel-execution gate: times the category-I random suite serially
+# (--jobs 1) and on the domain pool, checks the results are bit-for-bit
+# identical, and writes BENCH_parallel.json (committed). The >= 1.7x
+# speedup threshold binds only on machines that expose >= 2 cores; the
+# divergence check always binds.
+bench-parallel:
+	dune exec bench/main.exe -- parallel
+
 # Static analysis over the shipped models: deadlock-freedom of the
 # route sets, CTG/platform lints and certification of the committed
 # example schedule. Lint semantics: warnings (exit 1) are tolerated,
@@ -39,9 +47,10 @@ analyze: build
 	dune exec bin/nocsched.exe -- analyze --platform --mesh 8x8 || [ $$? -eq 1 ]
 
 # The full gate CI runs: build, the complete test suite, the static
-# analysis sweep, then the persisted bench gates (timeline regression +
-# the fault-campaign survivability table written to BENCH_faults.json).
-verify: build test analyze bench-json
+# analysis sweep, then the persisted bench gates (timeline regression,
+# parallel-execution determinism/speedup, and the fault-campaign
+# survivability table written to BENCH_faults.json).
+verify: build test analyze bench-json bench-parallel
 	dune exec bench/main.exe -- faults
 
 examples:

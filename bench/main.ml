@@ -8,7 +8,11 @@
      dune exec bench/main.exe -- fig5 tab1    # a subset
      dune exec bench/main.exe -- --json BENCH_timeline.json
                                               # persisted bench gate only
-   Experiments: fig5 fig6 tab1 tab2 tab3 fig7 split ablation faults micro. *)
+     dune exec bench/main.exe -- parallel    # serial-vs-parallel gate,
+                                              # persists BENCH_parallel.json
+
+   Experiments: fig5 fig6 tab1 tab2 tab3 fig7 split ablation faults
+   parallel micro. *)
 
 let section title =
   Printf.printf "\n================ %s ================\n%!" title
@@ -346,6 +350,117 @@ module Json_bench = struct
     end
 end
 
+(* ------------------------------------------------------------------ *)
+(* Parallel bench gate (parallel): serial vs parallel campaign wall
+   times plus a bit-for-bit divergence check, persisted as
+   BENCH_parallel.json. The divergence gate is unconditional — the pool
+   must be invisible in the results at every job count. The speedup gate
+   only binds when the machine actually exposes a second core; on a
+   single-core host the run still records the measured ratio so the
+   trajectory is visible across environments. *)
+
+module Parallel_bench = struct
+  let threshold = 1.7
+
+  (* Every field of a suite result except the wall-clock runtimes,
+     rendered as hex floats so serial and parallel runs are compared bit
+     for bit. *)
+  let fingerprint (result : Noc_experiments.Random_suite.result) =
+    let buf = Buffer.create 4096 in
+    let eval (e : Noc_experiments.Runner.evaluation) =
+      let m = e.Noc_experiments.Runner.metrics in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s total=%h comp=%h comm=%h mk=%h hops=%h miss=%d rv=%d; "
+           (Noc_experiments.Runner.algo_name e.Noc_experiments.Runner.algo)
+           m.Noc_sched.Metrics.total_energy m.Noc_sched.Metrics.computation_energy
+           m.Noc_sched.Metrics.communication_energy m.Noc_sched.Metrics.makespan
+           m.Noc_sched.Metrics.average_hops
+           (Noc_sched.Metrics.miss_count m)
+           e.Noc_experiments.Runner.resource_violations)
+    in
+    List.iter
+      (fun (r : Noc_experiments.Random_suite.row) ->
+        Buffer.add_string buf (Printf.sprintf "row %d: " r.index);
+        eval r.eas_base;
+        eval r.eas;
+        eval r.edf;
+        Buffer.add_char buf '\n')
+      result.Noc_experiments.Random_suite.rows;
+    Buffer.add_string buf
+      (Printf.sprintf "avg_edf_excess=%h\n"
+         result.Noc_experiments.Random_suite.average_edf_excess);
+    Buffer.contents buf
+
+  let run ~quick file =
+    let oc =
+      try open_out file
+      with Sys_error msg ->
+        Printf.eprintf "cannot write bench output: %s\n" msg;
+        exit 1
+    in
+    let scale = if quick then Some 0.3 else None in
+    let suite jobs =
+      Noc_experiments.Random_suite.run ~jobs ?scale Noc_tgff.Category.Category_i
+    in
+    let jobs = max 2 (Noc_util.Pool.default_jobs ()) in
+    let cores = Domain.recommended_domain_count () in
+    (* Divergence first (also warms code paths and route memos), then
+       the timed runs. *)
+    let suite_divergence = fingerprint (suite 1) <> fingerprint (suite jobs) in
+    let campaign j =
+      Noc_experiments.Fault_campaign.to_json
+        (Noc_experiments.Fault_campaign.run ~jobs:j ~scale:0.08 ~n_graphs:2
+           ~n_trials:2 ())
+    in
+    let campaign_divergence = campaign 1 <> campaign jobs in
+    let serial_wall = Json_bench.median_of ~repeats:3 (fun () -> ignore (suite 1)) in
+    let parallel_wall =
+      Json_bench.median_of ~repeats:3 (fun () -> ignore (suite jobs))
+    in
+    let speedup = serial_wall /. parallel_wall in
+    let gate_enforced = cores >= 2 in
+    let divergence = suite_divergence || campaign_divergence in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"schema\": \"nocsched/bench-parallel/v1\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"workload\": \"random-suite/category-i%s\",\n"
+         (if quick then " (scale 0.3)" else ""));
+    Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" jobs);
+    Buffer.add_string buf (Printf.sprintf "  \"cores_available\": %d,\n" cores);
+    Buffer.add_string buf (Printf.sprintf "  \"serial_wall_s\": %.4f,\n" serial_wall);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"parallel_wall_s\": %.4f,\n" parallel_wall);
+    Buffer.add_string buf (Printf.sprintf "  \"speedup\": %.3f,\n" speedup);
+    Buffer.add_string buf (Printf.sprintf "  \"gate_threshold\": %.1f,\n" threshold);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"gate_enforced\": %b,\n" gate_enforced);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"random_suite_divergence\": %b,\n" suite_divergence);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"fault_campaign_divergence\": %b\n" campaign_divergence);
+    Buffer.add_string buf "}\n";
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_string (Buffer.contents buf);
+    Printf.printf "wrote %s\n" file;
+    if divergence then begin
+      Printf.eprintf
+        "bench gate FAILED: parallel results diverge from the serial run \
+         (random suite: %b, fault campaign: %b)\n"
+        suite_divergence campaign_divergence;
+      exit 1
+    end;
+    if gate_enforced && speedup < threshold then begin
+      Printf.eprintf
+        "bench gate FAILED: %d-domain speedup only %.2fx on %d cores (need >= \
+         %.1fx)\n"
+        jobs speedup cores threshold;
+      exit 1
+    end
+end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (match args with
@@ -362,6 +477,7 @@ let () =
     [
       "fig5"; "fig6"; "tab1"; "tab2"; "tab3"; "fig7"; "split"; "ablation"; "topo";
       "weights"; "repairmoves"; "dvs"; "baselines"; "buffering"; "faults";
+      "parallel";
     ]
   in
   let wanted = if wanted = [] then all else wanted in
@@ -384,6 +500,9 @@ let () =
       | "baselines" -> baselines ()
       | "buffering" -> buffering ()
       | "faults" -> faults ~quick
+      | "parallel" ->
+        section "Parallel execution: serial vs pooled campaign gate";
+        Parallel_bench.run ~quick "BENCH_parallel.json"
       | "micro" -> micro ()
       | other ->
         Printf.eprintf "unknown experiment %S (known: %s micro)\n" other

@@ -488,18 +488,29 @@ let experiment_cmd =
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Scale the random suites down.")
   in
-  let run which quick =
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Domains to fan the campaign's trials over. Defaults to \
+                   $(b,NOCSCHED_JOBS) when set, otherwise the recommended \
+                   domain count of the machine. Results are identical at \
+                   every job count.")
+  in
+  let run which quick jobs =
     let scale = if quick then Some 0.2 else None in
+    match jobs with
+    | Some n when n < 1 -> Error (`Msg "--jobs must be at least 1")
+    | Some _ | None -> (
     match which with
     | "fig5" ->
       print_string
         (Noc_experiments.Random_suite.render
-           (Noc_experiments.Random_suite.run ?scale Noc_tgff.Category.Category_i));
+           (Noc_experiments.Random_suite.run ?jobs ?scale Noc_tgff.Category.Category_i));
       Ok ()
     | "fig6" ->
       print_string
         (Noc_experiments.Random_suite.render
-           (Noc_experiments.Random_suite.run ?scale Noc_tgff.Category.Category_ii));
+           (Noc_experiments.Random_suite.run ?jobs ?scale Noc_tgff.Category.Category_ii));
       Ok ()
     | "tab1" ->
       print_string
@@ -524,20 +535,20 @@ let experiment_cmd =
         (Noc_experiments.Energy_split.render (Noc_experiments.Energy_split.run ()));
       Ok ()
     | "ablation" ->
-      print_string (Noc_experiments.Ablation.render (Noc_experiments.Ablation.run ()));
+      print_string (Noc_experiments.Ablation.render (Noc_experiments.Ablation.run ?jobs ()));
       Ok ()
     | "topo" ->
       print_string
-        (Noc_experiments.Topology_compare.render (Noc_experiments.Topology_compare.run ()));
+        (Noc_experiments.Topology_compare.render (Noc_experiments.Topology_compare.run ?jobs ()));
       Ok ()
     | "weights" ->
       print_string
-        (Noc_experiments.Weight_ablation.render (Noc_experiments.Weight_ablation.run ()));
+        (Noc_experiments.Weight_ablation.render (Noc_experiments.Weight_ablation.run ?jobs ()));
       Ok ()
     | "repairmoves" ->
       let scale = if quick then Some 0.3 else None in
       print_string
-        (Noc_experiments.Repair_ablation.render (Noc_experiments.Repair_ablation.run ?scale ()));
+        (Noc_experiments.Repair_ablation.render (Noc_experiments.Repair_ablation.run ?jobs ?scale ()));
       Ok ()
     | "dvs" ->
       print_string
@@ -545,7 +556,7 @@ let experiment_cmd =
       Ok ()
     | "baselines" ->
       print_string
-        (Noc_experiments.Baselines_compare.render (Noc_experiments.Baselines_compare.run ()));
+        (Noc_experiments.Baselines_compare.render (Noc_experiments.Baselines_compare.run ?jobs ()));
       Ok ()
     | "buffering" ->
       print_string (Noc_experiments.Buffering.render (Noc_experiments.Buffering.run ()));
@@ -553,16 +564,16 @@ let experiment_cmd =
     | "faults" ->
       let result =
         if quick then
-          Noc_experiments.Fault_campaign.run ~scale:0.08 ~n_graphs:2 ~n_trials:2 ()
-        else Noc_experiments.Fault_campaign.run ()
+          Noc_experiments.Fault_campaign.run ?jobs ~scale:0.08 ~n_graphs:2 ~n_trials:2 ()
+        else Noc_experiments.Fault_campaign.run ?jobs ()
       in
       print_string (Noc_experiments.Fault_campaign.render result);
       Ok ()
-    | other -> Error (`Msg (Printf.sprintf "unknown experiment %S" other))
+    | other -> Error (`Msg (Printf.sprintf "unknown experiment %S" other)))
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables or figures.")
-    Term.(term_result (const run $ which_arg $ quick_arg))
+    Term.(term_result (const run $ which_arg $ quick_arg $ jobs_arg))
 
 let () =
   let info =

@@ -6,7 +6,7 @@ type stats = { runtime_seconds : float; misses : int }
 type outcome = { schedule : Noc_sched.Schedule.t; stats : stats }
 
 let schedule ?comm_model platform ctg =
-  let t0 = Sys.time () in
+  let t0 = Noc_util.Clock.wall_s () in
   let n = Noc_ctg.Ctg.n_tasks ctg in
   let n_pes = Noc_noc.Platform.n_pes platform in
   let state = Resource_state.create platform in
@@ -68,6 +68,6 @@ let schedule ?comm_model platform ctg =
           else acc)
       0 (Noc_ctg.Ctg.tasks ctg)
   in
-  { schedule; stats = { runtime_seconds = Sys.time () -. t0; misses } }
+  { schedule; stats = { runtime_seconds = Noc_util.Clock.wall_s () -. t0; misses } }
 
 let name = "Energy-greedy"

@@ -20,7 +20,7 @@ let count_misses ctg schedule =
     0 (Noc_ctg.Ctg.tasks ctg)
 
 let schedule ?(repair = true) ?comm_model ?degraded ?weighting platform ctg =
-  let t0 = Sys.time () in
+  let t0 = Noc_util.Clock.wall_s () in
   let budget = Budget.compute ?weighting ctg in
   let base = Level_sched.run ?comm_model ?degraded platform ctg budget in
   let misses_before_repair = count_misses ctg base in
@@ -30,7 +30,7 @@ let schedule ?(repair = true) ?comm_model ?degraded ?weighting platform ctg =
       (s, Some st)
     else (base, None)
   in
-  let runtime_seconds = Sys.time () -. t0 in
+  let runtime_seconds = Noc_util.Clock.wall_s () -. t0 in
   {
     schedule = repaired;
     stats =

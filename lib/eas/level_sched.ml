@@ -25,9 +25,11 @@ let incoming_pendings ctg partial i =
 (* Tentatively place task [i] on PE [k]: schedule its receiving
    transactions and find the earliest execution window. Reservations stay
    in force (the caller brackets the call with mark/rollback, or keeps
-   them when committing). *)
-let place ?comm_model ?degraded ctg partial i k =
-  let pendings = incoming_pendings ctg partial i in
+   them when committing). [pendings] must be [incoming_pendings] of [i];
+   it is invariant in [k] (every predecessor of a ready task is already
+   placed), so the F(i,k) loop builds it once per task instead of once
+   per candidate PE. *)
+let place ?comm_model ?degraded ~pendings ctg partial i k =
   let transactions, drt =
     Comm_sched.schedule_incoming ?model:comm_model ?degraded partial.state pendings
       ~dst_pe:k
@@ -43,9 +45,9 @@ let place ?comm_model ?degraded ctg partial i k =
   let placement = { Schedule.task = i; pe = k; start; finish = start +. exec_time } in
   (placement, transactions)
 
-let finish_time ?comm_model ?degraded ctg partial i k =
+let finish_time ?comm_model ?degraded ~pendings ctg partial i k =
   let mark = Resource_state.mark partial.state in
-  match place ?comm_model ?degraded ctg partial i k with
+  match place ?comm_model ?degraded ~pendings ctg partial i k with
   | placement, _ ->
     Resource_state.rollback partial.state mark;
     placement.Schedule.finish
@@ -77,7 +79,8 @@ let assignment_energy ?degraded platform ctg partial i k =
   task.Noc_ctg.Task.energies.(k) +. comm
 
 let commit ?comm_model ?degraded ctg partial i k =
-  let placement, transactions = place ?comm_model ?degraded ctg partial i k in
+  let pendings = incoming_pendings ctg partial i in
+  let placement, transactions = place ?comm_model ?degraded ~pendings ctg partial i k in
   Resource_state.reserve_pe partial.state ~pe:k
     (Noc_util.Interval.make ~start:placement.Schedule.start
        ~stop:placement.Schedule.finish);
@@ -108,6 +111,30 @@ let run ?comm_model ?degraded platform ctg (budget : Budget.t) =
   for i = n - 1 downto 0 do
     if unscheduled_preds.(i) = 0 then ready := i :: !ready
   done;
+  (* Once a task is ready its predecessors are all placed and never move
+     again, so both its pending list and its assignment energies are
+     fixed: compute them at most once per task, not once per candidate
+     PE per level iteration. The energy cache is filled lazily per PE
+     because [assignment_energy] on a degraded platform may raise for
+     pairs the fault set disconnects — those PEs are simply never
+     queried (their [F(i,k)] is infinite). *)
+  let pendings_cache = Array.make n None in
+  let pendings_of i =
+    match pendings_cache.(i) with
+    | Some pendings -> pendings
+    | None ->
+      let pendings = incoming_pendings ctg partial i in
+      pendings_cache.(i) <- Some pendings;
+      pendings
+  in
+  let energy_cache = Array.make n [||] in
+  let cached_energy i k =
+    if energy_cache.(i) == [||] then energy_cache.(i) <- Array.make n_pes nan;
+    let row = energy_cache.(i) in
+    if Float.is_nan row.(k) then
+      row.(k) <- assignment_energy ?degraded platform ctg partial i k;
+    row.(k)
+  in
   let remaining = ref n in
   while !remaining > 0 do
     let rtl = !ready in
@@ -116,9 +143,11 @@ let run ?comm_model ?degraded platform ctg (budget : Budget.t) =
     let finishes =
       List.map
         (fun i ->
+          let pendings = pendings_of i in
           ( i,
             Array.init n_pes (fun k ->
-                if pe_alive k then finish_time ?comm_model ?degraded ctg partial i k
+                if pe_alive k then
+                  finish_time ?comm_model ?degraded ~pendings ctg partial i k
                 else infinity) ))
         rtl
     in
@@ -155,11 +184,7 @@ let run ?comm_model ?degraded platform ctg (budget : Budget.t) =
                   (List.init n_pes Fun.id)
               in
               assert (allowed <> []);
-              let energies =
-                List.map
-                  (fun k -> (assignment_energy ?degraded platform ctg partial i k, k))
-                  allowed
-              in
+              let energies = List.map (fun k -> (cached_energy i k, k)) allowed in
               let sorted = List.sort compare energies in
               let best_energy, best_pe = List.hd sorted in
               let delta =

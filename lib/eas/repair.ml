@@ -55,8 +55,21 @@ let critical_tasks ctg schedule =
    communication of every incident arc whose other endpoint is fixed.
    On a degraded platform, detoured routes are priced by their real
    length; a pair the fault set disconnects costs [infinity], pushing
-   that destination to the end of the candidate order. *)
-let move_energy ?degraded platform ctg ~assignment i k =
+   that destination to the end of the candidate order.
+
+   The arc structure never changes during a repair, only [assignment]
+   does, so GTM derives each task's (neighbour, volume) lists once and
+   re-prices them across every destination and every repair iteration
+   instead of re-walking [in_edges]/[out_edges] per candidate PE. *)
+let incident_arcs_of ctg i =
+  ( List.map
+      (fun (e : Noc_ctg.Edge.t) -> (e.Noc_ctg.Edge.src, e.Noc_ctg.Edge.volume))
+      (Noc_ctg.Ctg.in_edges ctg i),
+    List.map
+      (fun (e : Noc_ctg.Edge.t) -> (e.Noc_ctg.Edge.dst, e.Noc_ctg.Edge.volume))
+      (Noc_ctg.Ctg.out_edges ctg i) )
+
+let move_energy_arcs ?degraded platform ctg ~assignment ~ins ~outs i k =
   let task = Noc_ctg.Ctg.task ctg i in
   let comm_energy ~src ~dst ~bits =
     match degraded with
@@ -67,19 +80,17 @@ let move_energy ?degraded platform ctg ~assignment i k =
   in
   let incident_comm =
     List.fold_left
-      (fun acc (e : Noc_ctg.Edge.t) ->
-        acc
-        +. comm_energy ~src:assignment.(e.Noc_ctg.Edge.src) ~dst:k
-             ~bits:e.Noc_ctg.Edge.volume)
-      0. (Noc_ctg.Ctg.in_edges ctg i)
+      (fun acc (src_task, bits) -> acc +. comm_energy ~src:assignment.(src_task) ~dst:k ~bits)
+      0. ins
     +. List.fold_left
-         (fun acc (e : Noc_ctg.Edge.t) ->
-           acc
-           +. comm_energy ~src:k ~dst:assignment.(e.Noc_ctg.Edge.dst)
-                ~bits:e.Noc_ctg.Edge.volume)
-         0. (Noc_ctg.Ctg.out_edges ctg i)
+         (fun acc (dst_task, bits) -> acc +. comm_energy ~src:k ~dst:assignment.(dst_task) ~bits)
+         0. outs
   in
   task.Noc_ctg.Task.energies.(k) +. incident_comm
+
+let move_energy ?degraded platform ctg ~assignment i k =
+  let ins, outs = incident_arcs_of ctg i in
+  move_energy_arcs ?degraded platform ctg ~assignment ~ins ~outs i k
 
 (* Critical tasks in decreasing urgency: the later past its own deadline
    (or its tightest descendant deadline), the earlier it is tried. *)
@@ -96,6 +107,15 @@ let run ?comm_model ?degraded ?(max_evaluations = 4_000) ?(moves = Both) platfor
     schedule =
   let n = Noc_ctg.Ctg.n_tasks ctg in
   let n_pes = Noc_noc.Platform.n_pes platform in
+  let incident_cache = Array.make n None in
+  let incident_arcs i =
+    match incident_cache.(i) with
+    | Some arcs -> arcs
+    | None ->
+      let arcs = incident_arcs_of ctg i in
+      incident_cache.(i) <- Some arcs;
+      arcs
+  in
   let assignment, rank = Rebuild.of_schedule schedule in
   let current = ref schedule in
   let best_score = ref (score ctg schedule) in
@@ -172,10 +192,12 @@ let run ?comm_model ?degraded ?(max_evaluations = 4_000) ?(moves = Both) platfor
         | None -> true
         | Some view -> Noc_noc.Degraded.pe_alive view k
       in
+      let ins, outs = incident_arcs t1 in
       let destinations =
         List.init n_pes Fun.id
         |> List.filter (fun k -> k <> home && pe_alive k)
-        |> List.map (fun k -> (move_energy ?degraded platform ctg ~assignment t1 k, k))
+        |> List.map (fun k ->
+               (move_energy_arcs ?degraded platform ctg ~assignment ~ins ~outs t1 k, k))
         |> List.sort compare
         |> List.map snd
       in

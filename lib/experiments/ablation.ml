@@ -33,12 +33,13 @@ let max_deviation planned realised =
   done;
   !worst
 
-let run ?(seeds = [ 0; 1; 2; 7; 8 ]) ?(n_tasks = 120) ?(tightness = 1.4) () =
+let run ?jobs ?(seeds = [ 0; 1; 2; 7; 8 ]) ?(n_tasks = 120) ?(tightness = 1.4) () =
   let platform = Noc_tgff.Category.platform in
+  Noc_noc.Platform.warm_routes platform;
   let params =
     { Noc_tgff.Params.default with n_tasks; deadline_tightness = tightness }
   in
-  List.map
+  Noc_util.Pool.map_list ?jobs
     (fun seed ->
       let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
       let aware =

@@ -23,8 +23,10 @@ type row = {
       (** Total time the naive schedule's transactions spent blocked. *)
 }
 
-val run : ?seeds:int list -> ?n_tasks:int -> ?tightness:float -> unit -> row list
+val run :
+  ?jobs:int -> ?seeds:int list -> ?n_tasks:int -> ?tightness:float -> unit -> row list
 (** Defaults: seeds {0, 1, 2, 7, 8}, 120 tasks, tightness 1.4, on the
-    category platform. *)
+    category platform. Seeds fan out over a {!Noc_util.Pool} of [jobs]
+    domains; the rows are identical at every job count. *)
 
 val render : row list -> string

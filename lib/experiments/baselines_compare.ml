@@ -24,8 +24,11 @@ let evaluate name platform ctg =
   in
   { name; entries }
 
-let run ?(seeds = [ 0; 1; 2 ]) () =
+let run ?jobs ?(seeds = [ 0; 1; 2 ]) () =
   let clip = Noc_msb.Profile.Foreman in
+  (* Three shared platforms cross the fan-out below (av_2x2 twice). *)
+  List.iter Noc_noc.Platform.warm_routes
+    [ Noc_msb.Platforms.av_2x2; Noc_msb.Platforms.av_3x3; Noc_tgff.Category.platform ];
   let msb =
     [
       ( "encoder/foreman",
@@ -49,7 +52,9 @@ let run ?(seeds = [ 0; 1; 2 ]) () =
           Noc_tgff.Generate.generate ~params ~platform ~seed ))
       seeds
   in
-  List.map (fun (name, platform, ctg) -> evaluate name platform ctg) (msb @ random)
+  Noc_util.Pool.map_list ?jobs
+    (fun (name, platform, ctg) -> evaluate name platform ctg)
+    (msb @ random)
 
 let render rows =
   let schedulers =

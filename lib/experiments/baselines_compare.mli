@@ -17,8 +17,10 @@ type entry = {
 
 type row = { name : string; entries : entry list }
 
-val run : ?seeds:int list -> unit -> row list
+val run : ?jobs:int -> ?seeds:int list -> unit -> row list
 (** Three MSB systems (foreman) plus TGFF benchmarks for the given
-    seeds (default {0, 1, 2}, 120 tasks). *)
+    seeds (default {0, 1, 2}, 120 tasks). Benchmarks fan out over a
+    {!Noc_util.Pool} of [jobs] domains; rows are identical at every job
+    count. *)
 
 val render : row list -> string

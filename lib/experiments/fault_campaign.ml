@@ -92,12 +92,16 @@ let summarise algo pick trials =
     }
     trials
 
-let run ?(scale = 0.12) ?(n_graphs = 3) ?(n_trials = 4) () =
+let run ?jobs ?(scale = 0.12) ?(n_graphs = 3) ?(n_trials = 4) () =
   let platform = Noc_tgff.Category.platform in
+  Noc_noc.Platform.warm_routes platform;
   let params = Noc_tgff.Category.scaled_params Noc_tgff.Category.Category_i ~scale in
-  let trials =
-    List.concat_map
-      (fun graph ->
+  (* Two fan-outs: first the per-graph schedules (built once, then only
+     read), then every (graph, fault-seed) trial. Each trial samples its
+     own fault set and builds its own degraded views and reschedules, so
+     the domains share nothing mutable. *)
+  let graphs =
+    Noc_util.Pool.map_range ?jobs ~n:n_graphs (fun graph ->
         let ctg =
           Noc_tgff.Generate.generate ~params ~platform ~seed:(1_000 + graph)
         in
@@ -106,28 +110,32 @@ let run ?(scale = 0.12) ?(n_graphs = 3) ?(n_trials = 4) () =
         let horizon = 2. *. Noc_ctg.Ctg.min_critical_path ctg in
         let eas_schedule = Runner.schedule_of Runner.Eas platform ctg in
         let edf_schedule = Runner.schedule_of Runner.Edf platform ctg in
-        List.map
-          (fun t ->
-            let seed = (graph * 100) + t in
-            let faults = Fault_set.sample ~seed ~platform ~horizon () in
-            (* The BFS detour routes carry no deadlock-freedom guarantee:
-               record whether their channel-dependency graph is cyclic. *)
-            let cyclic_cdg =
-              not
-                (Noc_analysis.Cdg.is_acyclic
-                   (Noc_analysis.Deadlock.cdg_of_degraded
-                      (Fault_set.degraded faults platform)))
-            in
-            {
-              graph;
-              seed;
-              faults = Fault_set.key faults;
-              cyclic_cdg;
-              eas = run_algo_trial platform ctg ~faults eas_schedule;
-              edf = run_algo_trial platform ctg ~faults edf_schedule;
-            })
-          (List.init n_trials Fun.id))
-      (List.init n_graphs Fun.id)
+        (graph, ctg, horizon, eas_schedule, edf_schedule))
+  in
+  let trials =
+    Noc_util.Pool.map_list ?jobs
+      (fun ((graph, ctg, horizon, eas_schedule, edf_schedule), t) ->
+        let seed = (graph * 100) + t in
+        let faults = Fault_set.sample ~seed ~platform ~horizon () in
+        (* The BFS detour routes carry no deadlock-freedom guarantee:
+           record whether their channel-dependency graph is cyclic. *)
+        let cyclic_cdg =
+          not
+            (Noc_analysis.Cdg.is_acyclic
+               (Noc_analysis.Deadlock.cdg_of_degraded
+                  (Fault_set.degraded faults platform)))
+        in
+        {
+          graph;
+          seed;
+          faults = Fault_set.key faults;
+          cyclic_cdg;
+          eas = run_algo_trial platform ctg ~faults eas_schedule;
+          edf = run_algo_trial platform ctg ~faults edf_schedule;
+        })
+      (List.concat_map
+         (fun g -> List.map (fun t -> (g, t)) (List.init n_trials Fun.id))
+         graphs)
   in
   {
     scale;

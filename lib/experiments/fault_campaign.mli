@@ -57,8 +57,12 @@ type result = {
   cyclic_routesets : int;  (** Trials whose detour-route CDG is cyclic. *)
 }
 
-val run : ?scale:float -> ?n_graphs:int -> ?n_trials:int -> unit -> result
-(** Defaults: 3 graphs at scale 0.12 (~60 tasks), 4 fault sets each. *)
+val run :
+  ?jobs:int -> ?scale:float -> ?n_graphs:int -> ?n_trials:int -> unit -> result
+(** Defaults: 3 graphs at scale 0.12 (~60 tasks), 4 fault sets each.
+    Schedule construction fans out per graph and replay per trial on a
+    {!Noc_util.Pool} of [jobs] domains; the result (and its JSON form)
+    is identical at every job count. *)
 
 val render : result -> string
 val to_json : result -> string

@@ -11,15 +11,18 @@ type result = {
   average_edf_excess : float;
 }
 
-let run ?(indices = List.init 10 Fun.id) ?scale kind =
+let run ?jobs ?(indices = List.init 10 Fun.id) ?scale kind =
   let platform = Noc_tgff.Category.platform in
+  (* The suite shares one platform across the pool: fill its route memo
+     before fanning out so the worker domains only read it. *)
+  Noc_noc.Platform.warm_routes platform;
   let params =
     match scale with
     | None -> Noc_tgff.Category.params kind
     | Some scale -> Noc_tgff.Category.scaled_params kind ~scale
   in
   let rows =
-    List.map
+    Noc_util.Pool.map_list ?jobs
       (fun index ->
         let seed =
           (match kind with

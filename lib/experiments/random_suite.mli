@@ -22,9 +22,13 @@ type result = {
       (** Mean of [edf_energy / eas_energy - 1] over the suite. *)
 }
 
-val run : ?indices:int list -> ?scale:float -> Noc_tgff.Category.kind -> result
+val run :
+  ?jobs:int -> ?indices:int list -> ?scale:float -> Noc_tgff.Category.kind -> result
 (** [run kind] evaluates the full suite (indices 0-9) at the paper's
     size. [scale] shrinks the graphs (same regime) for quick runs;
-    [indices] restricts the benchmarks evaluated. *)
+    [indices] restricts the benchmarks evaluated. Benchmarks are
+    evaluated on a {!Noc_util.Pool} of [jobs] domains (default
+    {!Noc_util.Pool.default_jobs}); the result is identical at every job
+    count. *)
 
 val render : result -> string

@@ -17,15 +17,16 @@ let all_moves = [ Noc_eas.Repair.Lts_only; Noc_eas.Repair.Gtm_only; Noc_eas.Repa
 let miss_count platform ctg schedule =
   Noc_sched.Metrics.miss_count (Noc_sched.Metrics.compute platform ctg schedule)
 
-let run ?(indices = List.init 5 Fun.id) ?scale () =
+let run ?jobs ?(indices = List.init 5 Fun.id) ?scale () =
   let kind = Noc_tgff.Category.Category_ii in
   let platform = Noc_tgff.Category.platform in
+  Noc_noc.Platform.warm_routes platform;
   let params =
     match scale with
     | None -> Noc_tgff.Category.params kind
     | Some scale -> Noc_tgff.Category.scaled_params kind ~scale
   in
-  List.filter_map
+  Noc_util.Pool.map_list ?jobs
     (fun index ->
       let seed = 2_000 + index in
       let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
@@ -55,6 +56,7 @@ let run ?(indices = List.init 5 Fun.id) ?scale () =
         Some { index; base_misses; attempts }
       end)
     indices
+  |> List.filter_map Fun.id
 
 let render rows =
   match rows with

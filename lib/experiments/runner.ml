@@ -22,9 +22,9 @@ let schedule_of ?comm_model algo platform ctg =
 
 let evaluate ?comm_model algo platform ctg =
   let runtime_seconds, schedule =
-    let t0 = Sys.time () in
+    let t0 = Noc_util.Clock.wall_s () in
     let s = schedule_of ?comm_model algo platform ctg in
-    (Sys.time () -. t0, s)
+    (Noc_util.Clock.wall_s () -. t0, s)
   in
   let metrics = Noc_sched.Metrics.compute platform ctg schedule in
   let resource_violations =

@@ -6,7 +6,7 @@ type row = {
 
 type result = { seed : int; n_tasks : int; rows : row list }
 
-let run ?(seed = 0) ?(n_tasks = 120) () =
+let run ?jobs ?(seed = 0) ?(n_tasks = 120) () =
   let topologies =
     [
       Noc_noc.Topology.mesh ~cols:4 ~rows:4;
@@ -15,7 +15,9 @@ let run ?(seed = 0) ?(n_tasks = 120) () =
     ]
   in
   let rows =
-    List.map
+    (* Each row builds its own platform (nothing shared); the honeycomb
+       row's BFS parent memo is per-domain ({!Noc_noc.Routing}). *)
+    Noc_util.Pool.map_list ?jobs
       (fun topology ->
         let platform = Noc_noc.Platform.heterogeneous ~seed:42 topology () in
         (* The same seed and parameters give per-task costs that depend

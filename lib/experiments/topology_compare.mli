@@ -16,7 +16,9 @@ type row = {
 
 type result = { seed : int; n_tasks : int; rows : row list }
 
-val run : ?seed:int -> ?n_tasks:int -> unit -> result
-(** Defaults: seed 0, 120 tasks, 4x4-sized topologies. *)
+val run : ?jobs:int -> ?seed:int -> ?n_tasks:int -> unit -> result
+(** Defaults: seed 0, 120 tasks, 4x4-sized topologies. Topologies fan
+    out over a {!Noc_util.Pool} of [jobs] domains; rows are identical
+    at every job count. *)
 
 val render : result -> string

@@ -12,22 +12,23 @@ let scheme_name = function
   | Noc_eas.Budget.Uniform -> "uniform"
 
 let evaluate_scheme platform ctg weighting =
-  let t0 = Sys.time () in
+  let t0 = Noc_util.Clock.wall_s () in
   let outcome = Noc_eas.Eas.schedule ~repair:false ~weighting platform ctg in
   let metrics = Noc_sched.Metrics.compute platform ctg outcome.Noc_eas.Eas.schedule in
   {
     Runner.algo = Runner.Eas_base;
     metrics;
-    runtime_seconds = Sys.time () -. t0;
+    runtime_seconds = Noc_util.Clock.wall_s () -. t0;
     resource_violations = 0;
   }
 
-let run ?(seeds = List.init 6 Fun.id) ?(n_tasks = 150) ?(tightness = 2.3) () =
+let run ?jobs ?(seeds = List.init 6 Fun.id) ?(n_tasks = 150) ?(tightness = 2.3) () =
   let platform = Noc_tgff.Category.platform in
+  Noc_noc.Platform.warm_routes platform;
   let params =
     { Noc_tgff.Params.default with n_tasks; deadline_tightness = tightness }
   in
-  List.map
+  Noc_util.Pool.map_list ?jobs
     (fun seed ->
       let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
       {

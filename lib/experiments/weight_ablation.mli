@@ -15,8 +15,11 @@ type row = {
 val schemes : Noc_eas.Budget.weighting list
 val scheme_name : Noc_eas.Budget.weighting -> string
 
-val run : ?seeds:int list -> ?n_tasks:int -> ?tightness:float -> unit -> row list
+val run :
+  ?jobs:int -> ?seeds:int list -> ?n_tasks:int -> ?tightness:float -> unit -> row list
 (** Defaults: seeds 0-5, 150 tasks, tightness 2.3 (the category-II
-    regime) on the category platform. *)
+    regime) on the category platform. Seeds fan out over a
+    {!Noc_util.Pool} of [jobs] domains; rows are identical at every job
+    count. *)
 
 val render : row list -> string

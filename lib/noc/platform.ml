@@ -57,6 +57,17 @@ let route_info t ~src ~dst =
     t.route_cache.(idx) <- Some info;
     info
 
+(* The lazy fill above is single-domain machinery: concurrent fills
+   would race on the cache array. Campaigns that fan a shared platform
+   out over a domain pool call this first so the workers only read. *)
+let warm_routes t =
+  let n = Array.length t.pes in
+  for src = 0 to n - 1 do
+    for dst = 0 to n - 1 do
+      ignore (route_info t ~src ~dst)
+    done
+  done
+
 let route t ~src ~dst = (route_info t ~src ~dst).nodes
 let route_links t ~src ~dst = (route_info t ~src ~dst).links
 let hops t ~src ~dst = (route_info t ~src ~dst).n_hops

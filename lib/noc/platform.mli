@@ -43,6 +43,12 @@ val route : t -> src:int -> dst:int -> int list
 val route_links : t -> src:int -> dst:int -> Routing.link list
 val hops : t -> src:int -> dst:int -> int
 
+val warm_routes : t -> unit
+(** Eagerly fill the whole [(src, dst)] route memo. The lazy fill is
+    not safe under concurrent use, so campaigns that share one platform
+    across a {!Noc_util.Pool} fan-out call this before spawning; the
+    workers then only read the table. Idempotent. *)
+
 val bit_energy : t -> src:int -> dst:int -> float
 (** [e(r_{src,dst})] of Definition 2: energy per bit over the route. *)
 

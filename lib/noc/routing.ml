@@ -3,10 +3,15 @@ type link = { from_node : int; to_node : int }
 (* Deterministic shortest-path parents towards [src]: for every node the
    parent is the smallest-index neighbour one step closer to [src].
    Used for topologies without dimension-order geometry (honeycombs).
-   Memoised per (topology, source). *)
-let parent_cache : (Topology.t * int, int array) Hashtbl.t = Hashtbl.create 16
+   Memoised per (topology, source), one table per domain: Hashtbl is not
+   safe under concurrent mutation, and the parent arrays are pure
+   functions of their key, so per-domain recomputation preserves
+   determinism at the cost of one BFS per (domain, source). *)
+let parent_cache_key : (Topology.t * int, int array) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
 let bfs_parents topo src =
+  let parent_cache = Domain.DLS.get parent_cache_key in
   match Hashtbl.find_opt parent_cache (topo, src) with
   | Some parents -> parents
   | None ->

@@ -131,6 +131,145 @@ let test_single_task () =
   let s = schedule_of (Builder.build_exn b) in
   Alcotest.(check (float 0.)) "starts at zero" 0. (Schedule.placement s 0).Schedule.start
 
+
+(* ------------------------------------------------------------------ *)
+(* Golden placements: 40-task category-I graphs with every PE
+   assignment and start/finish pinned to 1e-6. Captured before the
+   F(i,k) pendings hoist and the per-(i,k) assignment-energy cache
+   landed in [run]; the optimised inner loop must reproduce every
+   decision bit for bit, so any drift in tie-breaking or float
+   evaluation order fails here before it can move the energy oracle. *)
+
+let golden_placements =
+  [
+    ( 0,
+      "0:0:43.904557:140.772265 1:15:0.000000:67.709383 \
+       2:15:67.709383:153.959408 3:1:0.000000:416.767878 \
+       4:0:0.000000:43.904557 5:11:0.000000:205.742550 \
+       6:9:0.000000:514.829891 7:6:0.000000:166.877651 \
+       8:6:166.877651:269.899297 9:14:178.830905:359.433409 \
+       10:11:205.742550:347.241358 11:7:76.786735:180.616732 \
+       12:7:391.546613:495.376610 13:3:368.641070:465.219655 \
+       14:15:504.898939:600.097268 15:11:347.241358:474.688265 \
+       16:10:388.528852:544.591350 17:5:364.814573:558.899859 \
+       18:2:403.158854:526.409120 19:13:196.568775:552.853052 \
+       20:3:182.600395:324.558912 21:7:287.716616:391.546613 \
+       22:6:371.207600:581.403067 23:7:495.376610:555.005676 \
+       24:7:555.005676:676.794685 25:15:380.487489:416.762316 \
+       26:15:416.762316:504.898939 27:7:676.794685:856.996040 \
+       28:15:600.097268:707.469757 29:13:618.005764:900.284440 \
+       30:5:583.898776:777.984061 31:9:913.202633:1060.510697 \
+       32:14:987.420766:1119.229733 33:14:909.514687:987.420766 \
+       34:3:787.207846:885.309838 35:7:856.996040:950.464064 \
+       36:7:950.464064:965.538504 37:0:791.897109:888.764817 \
+       38:10:926.429787:1149.663156 39:15:707.469757:802.123417" );
+    ( 1,
+      "0:13:0.000000:547.956909 1:12:0.000000:82.364404 \
+       2:7:0.000000:152.855543 3:9:228.340744:337.722793 \
+       4:11:0.000000:139.902901 5:10:0.000000:114.512963 \
+       6:3:38.225023:64.977527 7:7:152.855543:253.096580 \
+       8:6:0.000000:119.689785 9:2:0.000000:127.582745 \
+       10:14:0.000000:122.993952 11:1:0.000000:323.839130 \
+       12:15:57.507732:126.812921 13:3:64.977527:90.957087 \
+       14:9:0.000000:228.340744 15:3:0.000000:38.225023 \
+       16:15:0.000000:57.507732 17:7:353.337617:453.578654 \
+       18:15:126.812921:184.320653 19:14:133.624961:377.170350 \
+       20:7:253.096580:353.337617 21:10:166.091317:344.645065 \
+       22:2:272.953422:491.518073 23:5:43.161675:287.561330 \
+       24:6:158.445289:278.135074 25:11:141.533786:251.643489 \
+       26:6:278.135074:407.873225 27:15:395.692381:528.024356 \
+       28:1:410.147309:551.009774 29:11:251.643489:317.544787 \
+       30:5:297.048779:541.448434 31:13:547.956909:748.500308 \
+       32:6:407.873225:618.586100 33:2:491.518073:728.669597 \
+       34:3:288.727181:378.802968 35:7:585.772373:633.504344 \
+       36:7:453.578654:585.772373 37:11:411.289570:588.656255 \
+       38:10:344.645065:768.174953 39:7:633.504344:738.054554" );
+    ( 2,
+      "0:10:0.000000:277.302031 1:9:0.000000:105.671708 \
+       2:14:0.000000:176.465509 3:7:0.000000:267.509249 \
+       4:14:176.465509:262.685876 5:1:304.432607:829.335577 \
+       6:9:460.332965:754.243415 7:2:289.028579:475.883313 \
+       8:7:474.432399:624.355509 9:6:367.335820:574.717904 \
+       10:14:296.381795:467.602512 11:7:419.987766:474.432399 \
+       12:13:200.295933:458.062449 13:2:475.883313:662.738047 \
+       14:10:277.302031:471.347870 15:15:453.406890:488.927438 \
+       16:9:313.326425:460.332965 17:6:179.191709:367.335820 \
+       18:11:271.680319:304.437633 19:15:292.357982:453.406890 \
+       20:9:188.486378:313.326425 21:10:471.347870:697.107080 \
+       22:7:278.560105:419.987766 23:15:569.251080:676.462540 \
+       24:10:697.107080:833.089517 25:11:331.480222:388.411171 \
+       26:5:323.334465:529.193493 27:15:488.927438:529.089259 \
+       28:13:482.601148:629.773368 29:11:501.823527:596.712340 \
+       30:11:596.712340:693.211528 31:7:670.085929:761.442304 \
+       32:6:574.717904:782.099987 33:15:529.089259:569.251080 \
+       34:11:693.211528:779.296532 35:13:629.773368:856.410239 \
+       36:6:789.534700:853.867072 37:9:754.243415:1256.154970 \
+       38:13:856.410239:1114.176756 39:10:833.089517:1020.614955" );
+    ( 1000,
+      "0:6:0.000000:228.040324 1:2:0.000000:196.452009 \
+       2:11:0.000000:106.001822 3:3:0.000000:151.086932 \
+       4:10:0.000000:228.383054 5:7:0.000000:84.254067 \
+       6:6:239.840712:569.021227 7:11:160.250399:266.252222 \
+       8:3:276.782606:409.967400 9:15:240.805010:339.579328 \
+       10:13:255.486750:505.459052 11:3:207.877025:276.782606 \
+       12:10:228.383054:527.115418 13:3:151.086932:201.829273 \
+       14:11:266.252222:372.000141 15:2:196.452009:565.653189 \
+       16:7:386.226751:483.404239 17:9:244.858677:487.840013 \
+       18:7:205.149686:386.226751 19:15:339.579328:458.392063 \
+       20:5:126.610792:482.685593 21:10:527.115418:749.232541 \
+       22:7:483.404239:588.239447 23:6:569.021227:709.758817 \
+       24:3:409.967400:496.862777 25:1:286.706304:624.898951 \
+       26:1:624.898951:802.011573 27:3:739.447251:796.867594 \
+       28:2:756.404129:956.046608 29:6:850.606018:938.488037 \
+       30:6:709.758817:850.606018 31:11:667.976867:837.887225 \
+       32:5:608.148470:879.161034 33:15:605.906188:758.546666 \
+       34:10:749.232541:969.324778 35:3:796.867594:947.954525 \
+       36:7:763.870294:966.362850 37:9:633.660931:959.150825 \
+       38:3:606.262457:739.447251 39:11:837.887225:887.704580" );
+    ( 2000,
+      "0:5:0.000000:156.894163 1:7:0.000000:77.321514 \
+       2:10:0.000000:126.566596 3:11:0.000000:38.838980 \
+       4:3:42.508176:91.885546 5:11:38.838980:77.677961 \
+       6:0:33.506827:79.097937 7:13:0.000000:471.616252 \
+       8:6:0.000000:91.748488 9:14:0.000000:286.808906 \
+       10:3:0.000000:42.508176 11:0:0.000000:33.506827 \
+       12:15:0.000000:125.753411 13:2:0.000000:66.153457 \
+       14:15:125.753411:263.990732 15:1:240.723552:344.294420 \
+       16:7:77.321514:189.273632 17:2:132.775246:198.928703 \
+       18:3:91.885546:177.253609 19:7:189.273632:323.730833 \
+       20:0:94.161327:301.050076 21:1:80.636306:240.723552 \
+       22:15:263.990732:278.370590 23:10:130.392238:320.926756 \
+       24:15:365.902228:491.655638 25:9:147.659313:333.293545 \
+       26:11:93.577285:228.038883 27:15:278.370590:365.902228 \
+       28:3:197.770316:310.746356 29:6:216.927789:313.968500 \
+       30:5:324.922886:415.216885 31:15:593.805077:741.454983 \
+       32:2:500.640552:726.480830 33:6:367.985412:525.699735 \
+       34:7:505.054655:617.006772 35:0:301.050076:439.855373 \
+       36:1:344.294420:434.901506 37:13:471.616252:543.853841 \
+       38:15:491.655638:593.805077 39:11:291.551816:330.539763" );
+  ]
+
+let test_golden_placements () =
+  let platform = Noc_tgff.Category.platform in
+  let params =
+    { (Noc_tgff.Category.params Noc_tgff.Category.Category_i) with
+      Noc_tgff.Params.n_tasks = 40 }
+  in
+  List.iter
+    (fun (seed, expected) ->
+      let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
+      let s = Level_sched.run platform ctg (Budget.compute ctg) in
+      let actual =
+        String.concat " "
+          (List.init (Schedule.n_tasks s) (fun i ->
+               let p = Schedule.placement s i in
+               Printf.sprintf "%d:%d:%.6f:%.6f" i p.Schedule.pe
+                 p.Schedule.start p.Schedule.finish))
+      in
+      Alcotest.(check string) (Printf.sprintf "seed %d placements" seed)
+        expected actual)
+    golden_placements
+
 let suite =
   [
     Alcotest.test_case "rule 4: regret priority" `Quick test_rule4_regret_priority;
@@ -141,4 +280,6 @@ let suite =
     Alcotest.test_case "gap filling" `Quick test_gap_filling;
     Alcotest.test_case "edge-free graph" `Quick test_zero_edge_graph;
     Alcotest.test_case "single task" `Quick test_single_task;
+    Alcotest.test_case "golden placements (category I, 40 tasks)" `Quick
+      test_golden_placements;
   ]

@@ -1,0 +1,70 @@
+(* Parallel determinism: the experiment campaigns must produce
+   bit-for-bit identical results at every job count. Each campaign runs
+   at --jobs 1 (the pre-pool serial semantics), 2 and 4, and the results
+   are compared field by field — everything except the wall-clock
+   runtimes, which are the only fields allowed to vary. *)
+
+let job_counts = [ 1; 2; 4 ]
+
+(* Exact (hex-float) rendering of an evaluation minus its runtime. *)
+let evaluation_fingerprint (e : Noc_experiments.Runner.evaluation) =
+  let m = e.Noc_experiments.Runner.metrics in
+  Printf.sprintf "%s total=%h comp=%h comm=%h mk=%h hops=%h miss=%d rv=%d"
+    (Noc_experiments.Runner.algo_name e.Noc_experiments.Runner.algo)
+    m.Noc_sched.Metrics.total_energy m.Noc_sched.Metrics.computation_energy
+    m.Noc_sched.Metrics.communication_energy m.Noc_sched.Metrics.makespan
+    m.Noc_sched.Metrics.average_hops
+    (Noc_sched.Metrics.miss_count m)
+    e.Noc_experiments.Runner.resource_violations
+
+let suite_fingerprint (r : Noc_experiments.Random_suite.result) =
+  String.concat "\n"
+    (Printf.sprintf "avg=%h" r.Noc_experiments.Random_suite.average_edf_excess
+     :: List.map
+          (fun (row : Noc_experiments.Random_suite.row) ->
+            Printf.sprintf "%d | %s | %s | %s" row.index
+              (evaluation_fingerprint row.eas_base)
+              (evaluation_fingerprint row.eas)
+              (evaluation_fingerprint row.edf))
+          r.Noc_experiments.Random_suite.rows)
+
+let test_random_suite_jobs_invariant () =
+  (* The 50-seed corpus at a small scale: wide enough that the pool's
+     chunk claiming actually interleaves, small enough for CI. *)
+  let indices = List.init 50 Fun.id in
+  let run jobs =
+    suite_fingerprint
+      (Noc_experiments.Random_suite.run ~jobs ~indices ~scale:0.1
+         Noc_tgff.Category.Category_i)
+  in
+  let serial = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "random suite identical at jobs=%d" jobs)
+        serial (run jobs))
+    (List.tl job_counts)
+
+let test_fault_campaign_jobs_invariant () =
+  (* The campaign's JSON report carries no timing fields, so whole-string
+     equality is the exact field-wise comparison. *)
+  let run jobs =
+    Noc_experiments.Fault_campaign.to_json
+      (Noc_experiments.Fault_campaign.run ~jobs ~scale:0.08 ~n_graphs:2
+         ~n_trials:3 ())
+  in
+  let serial = run 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "fault campaign identical at jobs=%d" jobs)
+        serial (run jobs))
+    (List.tl job_counts)
+
+let suite =
+  [
+    Alcotest.test_case "random suite invariant under --jobs" `Slow
+      test_random_suite_jobs_invariant;
+    Alcotest.test_case "fault campaign invariant under --jobs" `Slow
+      test_fault_campaign_jobs_invariant;
+  ]

@@ -1,0 +1,114 @@
+(* Tests for Noc_util.Pool: the fan-out's determinism contract
+   ([map_range ~n f] = [List.init n f] for every job count and chunk
+   size) and its serial-equivalent exception semantics. *)
+
+module Pool = Noc_util.Pool
+
+(* A pure but index-sensitive payload: any dropped, duplicated or
+   reordered index changes the result. *)
+let payload i = (i, (i * 7919) lxor (i * i), float_of_int i /. 3.)
+
+let qcheck_map_range_is_list_init =
+  QCheck.Test.make ~name:"map_range = List.init for any jobs/chunk/n" ~count:200
+    QCheck.(triple (int_range 0 40) (int_range 1 9) (int_range 1 8))
+    (fun (n, jobs, chunk) ->
+      Pool.map_range ~jobs ~chunk ~n payload = List.init n payload)
+
+let qcheck_map_list_is_list_map =
+  QCheck.Test.make ~name:"map_list = List.map for any jobs" ~count:100
+    QCheck.(pair (small_list small_int) (int_range 1 6))
+    (fun (items, jobs) ->
+      Pool.map_list ~jobs payload items = List.map payload items)
+
+let test_empty_range () =
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int)) "n = 0 gives []" []
+        (Pool.map_range ~jobs ~n:0 Fun.id))
+    [ 1; 2; 4 ]
+
+let test_more_jobs_than_items () =
+  (* 8 jobs over 3 items: at most 2 extra domains are spawned and the
+     result is still positional. *)
+  Alcotest.(check (list int)) "jobs > n" [ 0; 10; 20 ]
+    (Pool.map_range ~jobs:8 ~n:3 (fun i -> 10 * i))
+
+let test_chunk_larger_than_range () =
+  Alcotest.(check (list int)) "chunk > n" [ 0; 1; 2; 3 ]
+    (Pool.map_range ~jobs:4 ~chunk:64 ~n:4 Fun.id)
+
+let test_invalid_arguments () =
+  let invalid f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "jobs = 0 rejected" true
+    (invalid (fun () -> Pool.map_range ~jobs:0 ~n:3 Fun.id));
+  Alcotest.(check bool) "chunk = 0 rejected" true
+    (invalid (fun () -> Pool.map_range ~chunk:0 ~jobs:2 ~n:3 Fun.id));
+  Alcotest.(check bool) "negative n rejected" true
+    (invalid (fun () -> Pool.map_range ~jobs:2 ~n:(-1) Fun.id))
+
+exception Boom of int
+
+let test_first_failure_wins () =
+  (* Indices 3 and 7 both raise; whatever the interleaving, the caller
+     must observe the exception a serial run would have surfaced —
+     index 3's. Every index is still evaluated (witness array). *)
+  List.iter
+    (fun jobs ->
+      let seen = Array.make 10 false in
+      let raised =
+        try
+          ignore
+            (Pool.map_range ~jobs ~n:10 (fun i ->
+                 seen.(i) <- true;
+                 if i = 3 || i = 7 then raise (Boom i);
+                 i));
+          None
+        with Boom i -> Some i
+      in
+      Alcotest.(check (option int))
+        (Printf.sprintf "smallest failing index at jobs=%d" jobs)
+        (Some 3) raised;
+      Alcotest.(check bool)
+        (Printf.sprintf "no early abort at jobs=%d" jobs)
+        true
+        (Array.for_all Fun.id seen))
+    [ 1; 2; 4 ]
+
+let test_default_jobs_env () =
+  (* NOCSCHED_JOBS overrides the machine's domain count; garbage is
+     rejected loudly rather than silently serialised. *)
+  let set v = Unix.putenv "NOCSCHED_JOBS" v in
+  let finally =
+    (* [putenv] cannot unset, so restore the original value when there
+       was one (e.g. the CI job pinning NOCSCHED_JOBS=2) and fall back
+       to the machine default otherwise. *)
+    match Sys.getenv_opt "NOCSCHED_JOBS" with
+    | Some original -> fun () -> set original
+    | None -> fun () -> set (string_of_int (Domain.recommended_domain_count ()))
+  in
+  Fun.protect ~finally (fun () ->
+      set "3";
+      Alcotest.(check int) "env override" 3 (Pool.default_jobs ());
+      set " 5 ";
+      Alcotest.(check int) "whitespace tolerated" 5 (Pool.default_jobs ());
+      List.iter
+        (fun bad ->
+          set bad;
+          Alcotest.(check bool)
+            (Printf.sprintf "NOCSCHED_JOBS=%S rejected" bad)
+            true
+            (try ignore (Pool.default_jobs ()); false
+             with Invalid_argument _ -> true))
+        [ "0"; "-2"; "many" ])
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_map_range_is_list_init;
+    QCheck_alcotest.to_alcotest qcheck_map_list_is_list_map;
+    Alcotest.test_case "empty range" `Quick test_empty_range;
+    Alcotest.test_case "more jobs than items" `Quick test_more_jobs_than_items;
+    Alcotest.test_case "chunk larger than range" `Quick test_chunk_larger_than_range;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid_arguments;
+    Alcotest.test_case "first failure wins" `Quick test_first_failure_wins;
+    Alcotest.test_case "NOCSCHED_JOBS" `Quick test_default_jobs_env;
+  ]

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-parallel quick-bench analyze verify examples doc clean
+.PHONY: all build test bench bench-json bench-parallel bench-obs trace-smoke quick-bench analyze verify examples doc clean
 
 all: build
 
@@ -35,6 +35,24 @@ bench-json:
 bench-parallel:
 	dune exec bench/main.exe -- parallel
 
+# Observability gate: disabled-instrumentation overhead on the
+# category-I suite must stay within budget (analytic estimate <= 3%)
+# and counters/decision logs must be bit-identical at --jobs 1/2/4.
+# Writes BENCH_obs.json (committed).
+bench-obs:
+	dune exec bench/main.exe -- obs
+
+# End-to-end trace smoke: schedule the example CTG with tracing, the
+# decision log and the stats report all on, then validate the exported
+# Chrome trace against the nocsched/trace/v1 schema (counters required).
+trace-smoke: build
+	dune exec bin/nocsched.exe -- schedule examples/pipeline_4x4.ctg \
+	  --trace /tmp/nocsched-trace-smoke.json \
+	  --decisions /tmp/nocsched-decisions-smoke.jsonl --stats
+	dune exec bin/nocsched.exe -- trace-check /tmp/nocsched-trace-smoke.json \
+	  --require-counters
+	test -s /tmp/nocsched-decisions-smoke.jsonl
+
 # Static analysis over the shipped models: deadlock-freedom of the
 # route sets, CTG/platform lints and certification of the committed
 # example schedule. Lint semantics: warnings (exit 1) are tolerated,
@@ -47,10 +65,11 @@ analyze: build
 	dune exec bin/nocsched.exe -- analyze --platform --mesh 8x8 || [ $$? -eq 1 ]
 
 # The full gate CI runs: build, the complete test suite, the static
-# analysis sweep, then the persisted bench gates (timeline regression,
-# parallel-execution determinism/speedup, and the fault-campaign
+# analysis sweep, the trace smoke, then the persisted bench gates
+# (timeline regression, parallel-execution determinism/speedup, the
+# observability overhead/determinism gate, and the fault-campaign
 # survivability table written to BENCH_faults.json).
-verify: build test analyze bench-json bench-parallel
+verify: build test analyze trace-smoke bench-json bench-parallel bench-obs
 	dune exec bench/main.exe -- faults
 
 examples:

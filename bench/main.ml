@@ -461,6 +461,181 @@ module Parallel_bench = struct
     end
 end
 
+(* ------------------------------------------------------------------ *)
+(* Observability bench gate (obs): cost of the Noc_obs instrumentation,
+   persisted as BENCH_obs.json.
+
+   Two gates:
+   - Disabled overhead <= 3% of the untraced category-I suite wall time.
+     There is no un-instrumented binary to diff against, so the bound is
+     analytic: an enabled run counts how many instrumented calls the
+     suite actually makes (counter increments, spans, decision records),
+     micro-benchmarks price one *disabled* call of each primitive, and
+     the product over the disabled wall time bounds the drag the
+     always-compiled-in instrumentation can add. The enabled/disabled
+     wall ratio is recorded as well (informational, not gated — it
+     includes real work: buffering events, wall-clock reads).
+   - Determinism: counter totals and the decision-log export must be
+     bit-identical at --jobs 1, 2 and 4. Route memos are warmed first so
+     the in-process cache state is the same for every measured run. *)
+
+module Obs_bench = struct
+  let overhead_threshold_pct = 3.0
+  let job_counts = [ 1; 2; 4 ]
+
+  let suite ~jobs () =
+    ignore
+      (Noc_experiments.Random_suite.run ~jobs ~scale:0.2 Noc_tgff.Category.Category_i)
+
+  let disable_all () =
+    Noc_obs.Counters.set_enabled false;
+    Noc_obs.Trace.set_enabled false;
+    Noc_obs.Decisions.set_enabled false
+
+  let reset_all () =
+    Noc_obs.Counters.reset ();
+    Noc_obs.Trace.reset ();
+    Noc_obs.Decisions.reset ()
+
+  (* ns per disabled call: time [n] calls of [f] through the same
+     loop-plus-indirect-call harness as an empty closure and charge the
+     primitive the difference, so the price is the marginal cost of the
+     call itself (real sites call the primitives directly). *)
+  let price =
+    let loop ~n g =
+      Json_bench.median_of ~repeats:5 (fun () ->
+          for _ = 1 to n do
+            g ()
+          done)
+    in
+    fun ~n f ->
+      let baseline = loop ~n (fun () -> ()) in
+      Float.max 0. ((loop ~n f -. baseline) *. 1e9 /. float_of_int n)
+
+  let run file =
+    let oc =
+      try open_out file
+      with Sys_error msg ->
+        Printf.eprintf "cannot write bench output: %s\n" msg;
+        exit 1
+    in
+    disable_all ();
+    reset_all ();
+    (* Warm code paths and the shared platform's route memo: later runs
+       all see the same fully-populated cache. *)
+    suite ~jobs:1 ();
+    let disabled_wall = Json_bench.median_of ~repeats:3 (fun () -> suite ~jobs:1 ()) in
+    (* Count the instrumented calls one enabled run actually makes. *)
+    reset_all ();
+    Noc_obs.Counters.set_enabled true;
+    Noc_obs.Trace.set_enabled true;
+    Noc_obs.Decisions.set_enabled true;
+    suite ~jobs:1 ();
+    let counter_ops =
+      List.fold_left (fun acc (_, v) -> acc + v) 0 (Noc_obs.Counters.snapshot ())
+    in
+    let span_ops = Noc_obs.Trace.event_count () in
+    let decision_ops = Noc_obs.Decisions.count () in
+    let enabled_wall = Json_bench.median_of ~repeats:3 (fun () -> suite ~jobs:1 ()) in
+    disable_all ();
+    reset_all ();
+    (* Price one disabled call of each primitive. *)
+    let c = Noc_obs.Counters.counter "bench.obs.disabled" in
+    let counter_ns = price ~n:10_000_000 (fun () -> Noc_obs.Counters.incr c) in
+    let noop = Fun.const () in
+    let span_ns =
+      price ~n:1_000_000 (fun () -> Noc_obs.Trace.span "bench/noop" noop)
+    in
+    let finishes = Array.make 16 1.0 in
+    let decision_ns =
+      price ~n:1_000_000 (fun () ->
+          Noc_obs.Decisions.record ~task:0 ~rule:"regret" ~chosen:0
+            ~budgeted_deadline:1.0 ~finishes)
+    in
+    let estimated_overhead_pct =
+      (float_of_int counter_ops *. counter_ns
+      +. (float_of_int span_ops *. span_ns)
+      +. (float_of_int decision_ops *. decision_ns))
+      /. (disabled_wall *. 1e9)
+      *. 100.
+    in
+    (* Determinism across job counts: counters and decision log must not
+       depend on how the pool carved up the campaign. *)
+    let captures =
+      List.map
+        (fun jobs ->
+          reset_all ();
+          Noc_obs.Counters.set_enabled true;
+          Noc_obs.Decisions.set_enabled true;
+          suite ~jobs ();
+          let snapshot = Noc_obs.Counters.snapshot () in
+          let decisions = Noc_obs.Decisions.export_jsonl () in
+          disable_all ();
+          reset_all ();
+          (jobs, snapshot, decisions))
+        job_counts
+    in
+    let counters_identical, decisions_identical =
+      match captures with
+      | [] | [ _ ] -> (true, true)
+      | (_, snap1, dec1) :: rest ->
+        ( List.for_all (fun (_, snap, _) -> snap = snap1) rest,
+          List.for_all (fun (_, _, dec) -> dec = dec1) rest )
+    in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"schema\": \"nocsched/bench-obs/v1\",\n";
+    Buffer.add_string buf
+      "  \"workload\": \"random-suite/category-i (scale 0.2)\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"disabled_wall_s\": %.4f,\n" disabled_wall);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"enabled_wall_s\": %.4f,\n" enabled_wall);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"enabled_over_disabled\": %.3f,\n"
+         (enabled_wall /. disabled_wall));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"instrumented_calls\": {\"counter\": %d, \"span\": %d, \"decision\": \
+          %d},\n"
+         counter_ops span_ops decision_ops);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"disabled_call_ns\": {\"counter\": %.2f, \"span\": %.2f, \"decision\": \
+          %.2f},\n"
+         counter_ns span_ns decision_ns);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"estimated_disabled_overhead_pct\": %.4f,\n"
+         estimated_overhead_pct);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"overhead_threshold_pct\": %.1f,\n" overhead_threshold_pct);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"jobs_checked\": [%s],\n"
+         (String.concat ", " (List.map string_of_int job_counts)));
+    Buffer.add_string buf
+      (Printf.sprintf "  \"counters_identical_across_jobs\": %b,\n" counters_identical);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"decisions_identical_across_jobs\": %b\n" decisions_identical);
+    Buffer.add_string buf "}\n";
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_string (Buffer.contents buf);
+    Printf.printf "wrote %s\n" file;
+    if estimated_overhead_pct > overhead_threshold_pct then begin
+      Printf.eprintf
+        "bench gate FAILED: disabled instrumentation overhead %.3f%% exceeds %.1f%%\n"
+        estimated_overhead_pct overhead_threshold_pct;
+      exit 1
+    end;
+    if not (counters_identical && decisions_identical) then begin
+      Printf.eprintf
+        "bench gate FAILED: observability output depends on --jobs (counters \
+         identical: %b, decisions identical: %b)\n"
+        counters_identical decisions_identical;
+      exit 1
+    end
+end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (match args with
@@ -477,7 +652,7 @@ let () =
     [
       "fig5"; "fig6"; "tab1"; "tab2"; "tab3"; "fig7"; "split"; "ablation"; "topo";
       "weights"; "repairmoves"; "dvs"; "baselines"; "buffering"; "faults";
-      "parallel";
+      "parallel"; "obs";
     ]
   in
   let wanted = if wanted = [] then all else wanted in
@@ -503,6 +678,9 @@ let () =
       | "parallel" ->
         section "Parallel execution: serial vs pooled campaign gate";
         Parallel_bench.run ~quick "BENCH_parallel.json"
+      | "obs" ->
+        section "Observability: disabled-overhead and determinism gate";
+        Obs_bench.run "BENCH_obs.json"
       | "micro" -> micro ()
       | other ->
         Printf.eprintf "unknown experiment %S (known: %s micro)\n" other

@@ -118,21 +118,95 @@ let platform_and_ctg spec ~mesh ~tasks ~tightness =
       Noc_experiments.Msb_tables.graph_of which ~clip )
 
 (* ------------------------------------------------------------------ *)
+(* Observability: leveled logging plus optional trace/decision-log/stats
+   outputs, shared by schedule, simulate and experiment.               *)
+
+type obs = { trace : string option; decisions : string option; stats : bool }
+
+let obs_term =
+  let verbose_arg =
+    Arg.(value & flag
+         & info [ "verbose"; "v" ]
+             ~doc:"Log progress at debug level (to stderr). Overrides \
+                   $(b,NOCSCHED_LOG).")
+  in
+  let quiet_arg =
+    Arg.(value & flag
+         & info [ "quiet"; "q" ]
+             ~doc:"Log errors only, keeping stderr quiet and stdout \
+                   machine-clean. Overrides $(b,NOCSCHED_LOG).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record scheduler/simulator spans and counters and write a \
+                   Chrome trace-event JSON file (open in Perfetto or \
+                   chrome://tracing; schema $(b,nocsched/trace/v1)).")
+  in
+  let decisions_arg =
+    Arg.(value & opt (some string) None
+         & info [ "decisions" ] ~docv:"FILE"
+             ~doc:"Write a JSONL decision log: one record per EAS placement \
+                   with the candidate F(i,k) values and the chosen PE \
+                   (schema $(b,nocsched/decisions/v1)).")
+  in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Print a summary table of counters and span timings after \
+                   the run.")
+  in
+  let make verbose quiet trace decisions stats =
+    Noc_obs.Log.init_from_env ();
+    if quiet then Noc_obs.Log.set_level Noc_obs.Log.Error
+    else if verbose then Noc_obs.Log.set_level Noc_obs.Log.Debug;
+    { trace; decisions; stats }
+  in
+  Term.(const make $ verbose_arg $ quiet_arg $ trace_arg $ decisions_arg $ stats_arg)
+
+let with_obs obs f =
+  let want_trace = obs.trace <> None || obs.stats in
+  if want_trace then begin
+    Noc_obs.Counters.set_enabled true;
+    Noc_obs.Trace.set_enabled true
+  end;
+  if obs.decisions <> None then Noc_obs.Decisions.set_enabled true;
+  let result = f () in
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Noc_obs.Trace.export ()));
+      Noc_obs.Log.infof "wrote trace %s (%d events)" path
+        (Noc_obs.Trace.event_count ()))
+    obs.trace;
+  Option.iter
+    (fun path ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc (Noc_obs.Decisions.export_jsonl ()));
+      Noc_obs.Log.infof "wrote decision log %s (%d records)" path
+        (Noc_obs.Decisions.count ()))
+    obs.decisions;
+  if obs.stats then print_string (Noc_obs.Report.render ());
+  result
+
+(* ------------------------------------------------------------------ *)
 (* Certifier reporting shared by schedule, simulate and analyze.       *)
 
 let report_certification ~label diagnostics =
   match diagnostics with
-  | [] -> Format.printf "certifier: %s certified (independent re-verification)@." label
+  | [] -> Noc_obs.Log.infof "certifier: %s certified (independent re-verification)" label
   | diagnostics ->
     List.iter
-      (fun d -> Format.printf "certifier: %a@." Noc_analysis.Diagnostic.pp d)
+      (fun d ->
+        let text = Format.asprintf "%a" Noc_analysis.Diagnostic.pp d in
+        Noc_obs.Log.warnf "certifier: %s" text)
       diagnostics;
     let errors, warnings, _ = Noc_analysis.Diagnostic.count diagnostics in
     if errors = 0 then
-      Format.printf "certifier: %s certified with %d warning(s)@." label warnings
+      Noc_obs.Log.infof "certifier: %s certified with %d warning(s)" label warnings
     else
-      Format.printf "certifier: %s NOT certified (%d error(s), %d warning(s))@." label
-        errors warnings
+      Noc_obs.Log.errorf "certifier: %s NOT certified (%d error(s), %d warning(s))"
+        label errors warnings
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                            *)
@@ -200,7 +274,15 @@ let schedule_cmd =
     Arg.(value & opt (some string) None
          & info [ "svg" ] ~docv:"FILE" ~doc:"Render the schedule as an SVG Gantt chart.")
   in
-  let run spec algo mesh tasks tightness gantt input save utilization svg =
+  let file_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"Task-graph file to schedule (text format); shorthand for \
+                   $(b,--input) FILE.")
+  in
+  let run spec algo mesh tasks tightness gantt input save utilization svg file obs =
+    with_obs obs @@ fun () ->
+    let input = match file with Some _ -> file | None -> input in
     let platform, ctg =
       match input with
       | None -> platform_and_ctg spec ~mesh ~tasks ~tightness
@@ -219,15 +301,21 @@ let schedule_cmd =
       (Noc_experiments.Runner.algo_name algo)
       Noc_noc.Platform.pp platform Noc_ctg.Ctg.pp ctg;
     Format.printf "%a@." Noc_sched.Metrics.pp evaluation.Noc_experiments.Runner.metrics;
-    Format.printf "scheduler runtime: %.3f s@."
+    Noc_obs.Log.infof "scheduler runtime: %.3f s"
       evaluation.Noc_experiments.Runner.runtime_seconds;
     if evaluation.Noc_experiments.Runner.resource_violations > 0 then
-      Format.printf "WARNING: %d resource violations@."
+      Noc_obs.Log.warnf "%d resource violations"
         evaluation.Noc_experiments.Runner.resource_violations;
     let schedule = Noc_experiments.Runner.schedule_of algo platform ctg in
-    Option.iter (fun path -> Noc_sched.Schedule_io.save ~path schedule) save;
     Option.iter
-      (fun path -> Noc_sched.Svg_gantt.save ~path platform ctg schedule)
+      (fun path ->
+        Noc_sched.Schedule_io.save ~path schedule;
+        Noc_obs.Log.infof "wrote schedule %s" path)
+      save;
+    Option.iter
+      (fun path ->
+        Noc_sched.Svg_gantt.save ~path platform ctg schedule;
+        Noc_obs.Log.infof "wrote SVG Gantt chart %s" path)
       svg;
     if utilization then
       Format.printf "%a@." Noc_sched.Utilization.pp
@@ -244,7 +332,8 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc:"Schedule a benchmark and print its metrics.")
     Term.(term_result
             (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
-             $ gantt_arg $ input_arg $ save_arg $ utilization_arg $ svg_arg))
+             $ gantt_arg $ input_arg $ save_arg $ utilization_arg $ svg_arg
+             $ file_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -281,7 +370,9 @@ let simulate_cmd =
     Format.printf "%s: %d deadline misses, %d lost tasks, blocked %.1f@." label misses
       lost outcome.Noc_sim.Executor.waiting_time
   in
-  let run spec algo mesh tasks tightness self_timed fault_specs reschedule criticality =
+  let run spec algo mesh tasks tightness self_timed fault_specs reschedule criticality
+      obs =
+    with_obs obs @@ fun () ->
     let platform, ctg = platform_and_ctg spec ~mesh ~tasks ~tightness in
     let schedule = Noc_experiments.Runner.schedule_of algo platform ctg in
     let discipline =
@@ -343,7 +434,8 @@ let simulate_cmd =
              faults.")
     Term.(term_result
             (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
-             $ self_timed_arg $ fault_arg $ reschedule_arg $ criticality_arg))
+             $ self_timed_arg $ fault_arg $ reschedule_arg $ criticality_arg
+             $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -496,11 +588,13 @@ let experiment_cmd =
                    domain count of the machine. Results are identical at \
                    every job count.")
   in
-  let run which quick jobs =
+  let run which quick jobs obs =
+    with_obs obs @@ fun () ->
     let scale = if quick then Some 0.2 else None in
     match jobs with
     | Some n when n < 1 -> Error (`Msg "--jobs must be at least 1")
     | Some _ | None -> (
+    Noc_obs.Log.infof "experiment %s%s" which (if quick then " (quick)" else "");
     match which with
     | "fig5" ->
       print_string
@@ -573,7 +667,38 @@ let experiment_cmd =
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables or figures.")
-    Term.(term_result (const run $ which_arg $ quick_arg $ jobs_arg))
+    Term.(term_result (const run $ which_arg $ quick_arg $ jobs_arg $ obs_term))
+
+(* ------------------------------------------------------------------ *)
+(* trace-check                                                         *)
+
+let trace_check_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON file to validate.")
+  in
+  let require_counters_arg =
+    Arg.(value & flag
+         & info [ "require-counters" ]
+             ~doc:"Also require a counter event and non-empty counter totals.")
+  in
+  let run file require_counters =
+    Noc_obs.Log.init_from_env ();
+    match Noc_obs.Trace_check.check_file ~require_counters file with
+    | Ok () ->
+      Format.printf "%s: valid nocsched/trace/v1@." file;
+      Ok ()
+    | Error msg ->
+      Noc_obs.Log.errorf "%s: %s" file msg;
+      Format.pp_print_flush Format.std_formatter ();
+      Stdlib.exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a trace produced by $(b,--trace) against the \
+             $(b,nocsched/trace/v1) schema: JSON shape, per-domain span nesting, \
+             counter totals. Exits 0 when valid, 1 otherwise.")
+    Term.(term_result (const run $ file_arg $ require_counters_arg))
 
 let () =
   let info =
@@ -583,4 +708,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ generate_cmd; schedule_cmd; simulate_cmd; analyze_cmd; experiment_cmd ]))
+          [
+            generate_cmd; schedule_cmd; simulate_cmd; analyze_cmd; experiment_cmd;
+            trace_check_cmd;
+          ]))

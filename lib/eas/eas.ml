@@ -20,13 +20,26 @@ let count_misses ctg schedule =
     0 (Noc_ctg.Ctg.tasks ctg)
 
 let schedule ?(repair = true) ?comm_model ?degraded ?weighting platform ctg =
+  let span ?args name f = Noc_obs.Trace.span ~cat:"eas" ?args name f in
+  span "eas/schedule"
+    ~args:(fun () ->
+      [
+        ("tasks", Noc_obs.Trace.Int (Noc_ctg.Ctg.n_tasks ctg));
+        ("pes", Noc_obs.Trace.Int (Noc_noc.Platform.n_pes platform));
+      ])
+  @@ fun () ->
   let t0 = Noc_util.Clock.wall_s () in
-  let budget = Budget.compute ?weighting ctg in
-  let base = Level_sched.run ?comm_model ?degraded platform ctg budget in
+  let budget = span "eas/budget" (fun () -> Budget.compute ?weighting ctg) in
+  let base =
+    span "eas/level_sched" (fun () ->
+        Level_sched.run ?comm_model ?degraded platform ctg budget)
+  in
   let misses_before_repair = count_misses ctg base in
   let repaired, repair_stats =
     if repair && misses_before_repair > 0 then
-      let s, st = Repair.run ?comm_model ?degraded platform ctg base in
+      let s, st =
+        span "eas/repair" (fun () -> Repair.run ?comm_model ?degraded platform ctg base)
+      in
       (s, Some st)
     else (base, None)
   in

@@ -45,7 +45,11 @@ let place ?comm_model ?degraded ~pendings ctg partial i k =
   let placement = { Schedule.task = i; pe = k; start; finish = start +. exec_time } in
   (placement, transactions)
 
+let c_fik = Noc_obs.Counters.counter "eas.finish_time.evaluations"
+let c_energy = Noc_obs.Counters.counter "eas.assignment_energy.evaluations"
+
 let finish_time ?comm_model ?degraded ~pendings ctg partial i k =
+  Noc_obs.Counters.incr c_fik;
   let mark = Resource_state.mark partial.state in
   match place ?comm_model ?degraded ~pendings ctg partial i k with
   | placement, _ ->
@@ -131,8 +135,10 @@ let run ?comm_model ?degraded platform ctg (budget : Budget.t) =
   let cached_energy i k =
     if energy_cache.(i) == [||] then energy_cache.(i) <- Array.make n_pes nan;
     let row = energy_cache.(i) in
-    if Float.is_nan row.(k) then
-      row.(k) <- assignment_energy ?degraded platform ctg partial i k;
+    if Float.is_nan row.(k) then begin
+      Noc_obs.Counters.incr c_energy;
+      row.(k) <- assignment_energy ?degraded platform ctg partial i k
+    end;
     row.(k)
   in
   let remaining = ref n in
@@ -159,7 +165,7 @@ let run ?comm_model ?degraded platform ctg (budget : Budget.t) =
           if min_f > bd i then Some (i, fs, min_f -. bd i) else None)
         finishes
     in
-    let chosen_task, chosen_pe =
+    let chosen_task, chosen_pe, chosen_rule =
       match violators with
       | _ :: _ ->
         (* Rule 3: the worst violator goes to its fastest PE. *)
@@ -172,7 +178,7 @@ let run ?comm_model ?degraded platform ctg (budget : Budget.t) =
         let k = Noc_util.Stats.argmin fs in
         if fs.(k) = infinity then
           invalid_arg "Level_sched.run: task unschedulable on the degraded platform";
-        (i, k)
+        (i, k, "deadline")
       | [] ->
         (* Rule 4: largest energy regret among deadline-respecting PEs. *)
         let candidates =
@@ -202,8 +208,12 @@ let run ?comm_model ?degraded platform ctg (budget : Budget.t) =
               if delta > bdelta then (i, k, delta) else (bi, bk, bdelta))
             (List.hd candidates) (List.tl candidates)
         in
-        (i, k)
+        (i, k, "regret")
     in
+    if Noc_obs.Decisions.is_enabled () then
+      Noc_obs.Decisions.record ~task:chosen_task ~rule:chosen_rule ~chosen:chosen_pe
+        ~budgeted_deadline:(bd chosen_task)
+        ~finishes:(List.assoc chosen_task finishes);
     commit ?comm_model ?degraded ctg partial chosen_task chosen_pe;
     decr remaining;
     ready := List.filter (fun i -> i <> chosen_task) !ready;

@@ -2,7 +2,10 @@ module Schedule = Noc_sched.Schedule
 module Comm_sched = Noc_sched.Comm_sched
 module Resource_state = Noc_sched.Resource_state
 
+let c_runs = Noc_obs.Counters.counter "eas.rebuild.runs"
+
 let run ?comm_model ?degraded platform ctg ~assignment ~rank =
+  Noc_obs.Counters.incr c_runs;
   let n = Noc_ctg.Ctg.n_tasks ctg in
   if Array.length assignment <> n || Array.length rank <> n then
     invalid_arg "Rebuild.run: array length mismatch";

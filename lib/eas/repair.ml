@@ -69,7 +69,13 @@ let incident_arcs_of ctg i =
       (fun (e : Noc_ctg.Edge.t) -> (e.Noc_ctg.Edge.dst, e.Noc_ctg.Edge.volume))
       (Noc_ctg.Ctg.out_edges ctg i) )
 
+let c_moves_priced = Noc_obs.Counters.counter "eas.repair.moves_priced"
+let c_rebuilds = Noc_obs.Counters.counter "eas.repair.rebuilds"
+let c_accepted_swaps = Noc_obs.Counters.counter "eas.repair.accepted_swaps"
+let c_accepted_migrations = Noc_obs.Counters.counter "eas.repair.accepted_migrations"
+
 let move_energy_arcs ?degraded platform ctg ~assignment ~ins ~outs i k =
+  Noc_obs.Counters.incr c_moves_priced;
   let task = Noc_ctg.Ctg.task ctg i in
   let comm_energy ~src ~dst ~bits =
     match degraded with
@@ -122,6 +128,7 @@ let run ?comm_model ?degraded ?(max_evaluations = 4_000) ?(moves = Both) platfor
   let swaps = ref 0 and migrations = ref 0 and evaluations = ref 0 in
   let rebuild () =
     incr evaluations;
+    Noc_obs.Counters.incr c_rebuilds;
     (* A move that strands a transaction on a disconnected pair is
        simply not an improvement. *)
     try Some (Rebuild.run ?comm_model ?degraded platform ctg ~assignment ~rank)
@@ -226,5 +233,7 @@ let run ?comm_model ?degraded ?(max_evaluations = 4_000) ?(moves = Both) platfor
       else ()
   in
   fix ();
+  Noc_obs.Counters.add c_accepted_swaps !swaps;
+  Noc_obs.Counters.add c_accepted_migrations !migrations;
   ( !current,
     { accepted_swaps = !swaps; accepted_migrations = !migrations; evaluations = !evaluations } )

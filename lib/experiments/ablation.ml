@@ -41,6 +41,7 @@ let run ?jobs ?(seeds = [ 0; 1; 2; 7; 8 ]) ?(n_tasks = 120) ?(tightness = 1.4) (
   in
   Noc_util.Pool.map_list ?jobs
     (fun seed ->
+      Runner.traced ~label:(Printf.sprintf "ablation/seed=%d" seed) @@ fun () ->
       let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
       let aware =
         Runner.schedule_of ~comm_model:Noc_sched.Comm_sched.Contention_aware

@@ -53,7 +53,9 @@ let run ?jobs ?(seeds = [ 0; 1; 2 ]) () =
       seeds
   in
   Noc_util.Pool.map_list ?jobs
-    (fun (name, platform, ctg) -> evaluate name platform ctg)
+    (fun (name, platform, ctg) ->
+      Runner.traced ~label:("baselines_compare/" ^ name) (fun () ->
+          evaluate name platform ctg))
     (msb @ random)
 
 let render rows =

@@ -12,6 +12,7 @@ let run ?(seeds = [ 0; 1; 2; 7; 8 ]) ?(n_tasks = 120) () =
   in
   List.map
     (fun seed ->
+      Runner.traced ~label:(Printf.sprintf "buffering/seed=%d" seed) @@ fun () ->
       let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
       let aware = Runner.schedule_of Runner.Eas platform ctg in
       let fixed =

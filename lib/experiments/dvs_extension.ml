@@ -49,7 +49,11 @@ let run () =
           Noc_tgff.Generate.generate ~params ~platform ~seed ))
       [ 0; 1 ]
   in
-  List.map (fun (name, platform, ctg) -> evaluate name platform ctg) (msb @ random)
+  List.map
+    (fun (name, platform, ctg) ->
+      Runner.traced ~label:("dvs_extension/" ^ name) (fun () ->
+          evaluate name platform ctg))
+    (msb @ random)
 
 let render rows =
   let header =

@@ -5,6 +5,8 @@ type result = {
 }
 
 let run ?(clip = Noc_msb.Profile.Foreman) () =
+  Runner.traced ~label:("energy_split/" ^ Noc_msb.Profile.clip_name clip)
+  @@ fun () ->
   let platform = Noc_msb.Platforms.av_3x3 in
   let ctg = Noc_msb.Graphs.integrated ~platform ~clip () in
   {

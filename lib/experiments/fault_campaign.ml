@@ -102,6 +102,8 @@ let run ?jobs ?(scale = 0.12) ?(n_graphs = 3) ?(n_trials = 4) () =
      the domains share nothing mutable. *)
   let graphs =
     Noc_util.Pool.map_range ?jobs ~n:n_graphs (fun graph ->
+        Runner.traced ~label:(Printf.sprintf "fault_campaign/graph=%d" graph)
+        @@ fun () ->
         let ctg =
           Noc_tgff.Generate.generate ~params ~platform ~seed:(1_000 + graph)
         in
@@ -116,6 +118,9 @@ let run ?jobs ?(scale = 0.12) ?(n_graphs = 3) ?(n_trials = 4) () =
     Noc_util.Pool.map_list ?jobs
       (fun ((graph, ctg, horizon, eas_schedule, edf_schedule), t) ->
         let seed = (graph * 100) + t in
+        Runner.traced
+          ~label:(Printf.sprintf "fault_campaign/graph=%d/fault_seed=%d" graph seed)
+        @@ fun () ->
         let faults = Fault_set.sample ~seed ~platform ~horizon () in
         (* The BFS detour routes carry no deadlock-freedom guarantee:
            record whether their channel-dependency graph is cyclic. *)

@@ -29,6 +29,11 @@ let run which =
   let rows =
     List.map
       (fun clip ->
+        Runner.traced
+          ~label:
+            (Printf.sprintf "msb_tables/%s/%s" (which_name which)
+               (Noc_msb.Profile.clip_name clip))
+        @@ fun () ->
         let ctg = graph_of which ~clip in
         {
           clip;

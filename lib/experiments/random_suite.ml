@@ -30,6 +30,10 @@ let run ?jobs ?(indices = List.init 10 Fun.id) ?scale kind =
           | Noc_tgff.Category.Category_ii -> 2_000)
           + index
         in
+        Runner.traced ~label:(Printf.sprintf "random_suite/%s/seed=%d" (match kind with
+          | Noc_tgff.Category.Category_i -> "cat_i"
+          | Noc_tgff.Category.Category_ii -> "cat_ii") seed)
+        @@ fun () ->
         let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
         {
           index;

@@ -29,6 +29,8 @@ let run ?jobs ?(indices = List.init 5 Fun.id) ?scale () =
   Noc_util.Pool.map_list ?jobs
     (fun index ->
       let seed = 2_000 + index in
+      Runner.traced ~label:(Printf.sprintf "repair_ablation/seed=%d" seed)
+      @@ fun () ->
       let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
       let base = (Noc_eas.Eas.schedule ~repair:false platform ctg).Noc_eas.Eas.schedule in
       let base_misses = miss_count platform ctg base in

@@ -14,6 +14,17 @@ type evaluation = {
   resource_violations : int;
 }
 
+(* Campaigns wrap each trial body in [traced ~label]: the label (unique
+   per trial, derived from the trial's seed/configuration, never from
+   which pool worker ran it) keys the decision log so its export is
+   identical at every --jobs count, and the span groups the trial's
+   scheduler/simulator spans in the trace timeline. *)
+let traced ~label f =
+  Noc_obs.Decisions.with_run label (fun () ->
+      Noc_obs.Trace.span ~cat:"experiment" "experiment/trial"
+        ~args:(fun () -> [ ("trial", Noc_obs.Trace.String label) ])
+        f)
+
 let schedule_of ?comm_model algo platform ctg =
   match algo with
   | Eas -> (Noc_eas.Eas.schedule ?comm_model platform ctg).schedule
@@ -21,6 +32,9 @@ let schedule_of ?comm_model algo platform ctg =
   | Edf -> (Noc_edf.Edf.schedule ?comm_model platform ctg).schedule
 
 let evaluate ?comm_model algo platform ctg =
+  Noc_obs.Log.debugf "evaluate %s: %d tasks on %d PEs" (algo_name algo)
+    (Noc_ctg.Ctg.n_tasks ctg)
+    (Noc_noc.Platform.n_pes platform);
   let runtime_seconds, schedule =
     let t0 = Noc_util.Clock.wall_s () in
     let s = schedule_of ?comm_model algo platform ctg in

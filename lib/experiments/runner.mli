@@ -16,6 +16,13 @@ type evaluation = {
           scheduler, recorded so experiments fail loudly otherwise. *)
 }
 
+val traced : label:string -> (unit -> 'a) -> 'a
+(** [traced ~label f] runs one campaign trial under the observability
+    subsystem: a [Noc_obs.Decisions] run context named [label] (so the
+    decision log sorts deterministically regardless of which pool worker
+    ran the trial) and an [experiment/trial] trace span. [label] must be
+    unique per trial and derived from the trial's own parameters. *)
+
 val evaluate :
   ?comm_model:Noc_sched.Comm_sched.model ->
   algo ->

@@ -19,6 +19,11 @@ let run ?jobs ?(seed = 0) ?(n_tasks = 120) () =
        row's BFS parent memo is per-domain ({!Noc_noc.Routing}). *)
     Noc_util.Pool.map_list ?jobs
       (fun topology ->
+        Runner.traced
+          ~label:
+            (Format.asprintf "topology_compare/%a/seed=%d" Noc_noc.Topology.pp
+               topology seed)
+        @@ fun () ->
         let platform = Noc_noc.Platform.heterogeneous ~seed:42 topology () in
         (* The same seed and parameters give per-task costs that depend
            only on the PE array, which is shared across topologies. *)

@@ -6,6 +6,7 @@ let run ?(ratios = default_ratios) ?(clip = Noc_msb.Profile.Foreman) () =
   let platform = Noc_msb.Platforms.av_3x3 in
   List.map
     (fun ratio ->
+      Runner.traced ~label:(Printf.sprintf "tradeoff/ratio=%.1f" ratio) @@ fun () ->
       let ctg = Noc_msb.Graphs.integrated ~ratio ~platform ~clip () in
       {
         ratio;

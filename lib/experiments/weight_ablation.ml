@@ -30,6 +30,8 @@ let run ?jobs ?(seeds = List.init 6 Fun.id) ?(n_tasks = 150) ?(tightness = 2.3) 
   in
   Noc_util.Pool.map_list ?jobs
     (fun seed ->
+      Runner.traced ~label:(Printf.sprintf "weight_ablation/seed=%d" seed)
+      @@ fun () ->
       let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
       {
         seed;

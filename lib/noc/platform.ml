@@ -41,11 +41,17 @@ let pe t i = t.pes.(i)
 let pes t = t.pes
 let link_bandwidth t = t.link_bandwidth
 let router_latency t = t.router_latency
+let c_memo_hits = Noc_obs.Counters.counter "noc.route_memo.hits"
+let c_memo_misses = Noc_obs.Counters.counter "noc.route_memo.misses"
+
 let route_info t ~src ~dst =
   let idx = (src * Array.length t.pes) + dst in
   match t.route_cache.(idx) with
-  | Some info -> info
+  | Some info ->
+    Noc_obs.Counters.incr c_memo_hits;
+    info
   | None ->
+    Noc_obs.Counters.incr c_memo_misses;
     let nodes = Routing.route t.topology ~src ~dst in
     let info =
       {

@@ -1,0 +1,82 @@
+let enabled = Atomic.make false
+let set_enabled v = Atomic.set enabled v
+let is_enabled () = Atomic.get enabled
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+type record = {
+  run : string;
+  seq : int;
+  task : int;
+  rule : string;
+  chosen : int;
+  budgeted_deadline : float;
+  finishes : float array;
+}
+
+let lock = Mutex.create ()
+let records : record list ref = ref []
+
+(* Current (run label, next sequence number) of this domain. *)
+let context_key : (string ref * int ref) Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> (ref "", ref 0))
+
+let with_run label f =
+  let run, seq = Domain.DLS.get context_key in
+  let saved_run = !run and saved_seq = !seq in
+  run := label;
+  seq := 0;
+  Fun.protect
+    ~finally:(fun () ->
+      run := saved_run;
+      seq := saved_seq)
+    f
+
+let record ~task ~rule ~chosen ~budgeted_deadline ~finishes =
+  if Atomic.get enabled then begin
+    let run, seq = Domain.DLS.get context_key in
+    let r =
+      {
+        run = !run;
+        seq = !seq;
+        task;
+        rule;
+        chosen;
+        budgeted_deadline;
+        finishes = Array.copy finishes;
+      }
+    in
+    incr seq;
+    with_lock lock (fun () -> records := r :: !records)
+  end
+
+let count () = with_lock lock (fun () -> List.length !records)
+let reset () = with_lock lock (fun () -> records := [])
+
+let record_json r =
+  let candidates =
+    String.concat ", "
+      (Array.to_list
+         (Array.mapi
+            (fun pe f -> Printf.sprintf "{\"pe\": %d, \"f\": %s}" pe (Json.number f))
+            r.finishes))
+  in
+  Printf.sprintf
+    "{\"run\": %s, \"seq\": %d, \"task\": %d, \"rule\": %s, \"chosen\": %d, \
+     \"chosen_f\": %s, \"budgeted_deadline\": %s, \"candidates\": [%s]}"
+    (Json.escape_string r.run) r.seq r.task (Json.escape_string r.rule) r.chosen
+    (Json.number r.finishes.(r.chosen))
+    (Json.number r.budgeted_deadline)
+    candidates
+
+let export_jsonl () =
+  let sorted =
+    List.sort
+      (fun a b ->
+        let c = compare a.run b.run in
+        if c <> 0 then c else compare a.seq b.seq)
+      (with_lock lock (fun () -> !records))
+  in
+  String.concat "" (List.map (fun r -> record_json r ^ "\n") sorted)

@@ -1,0 +1,45 @@
+(** EAS placement decision log.
+
+    One record per committed placement: the candidate PE set with their
+    tentative finish times F(i,k), the chosen PE and the rule that chose
+    it ([deadline] = paper Rule 3, worst violator to its fastest PE;
+    [regret] = Rule 4, largest energy regret). Disabled recording is a
+    single branch; the caller passes the F(i,k) array it already has and
+    it is copied only when the log is live.
+
+    Determinism contract: records carry a (run label, sequence) pair —
+    the label is set by {!with_run} around each campaign trial, the
+    sequence counts records within the current domain's run — and
+    {!export_jsonl} orders by (run, seq). Campaign trials label their
+    runs uniquely (seed-derived), so the export is bit-identical at
+    every [--jobs] count. *)
+
+val set_enabled : bool -> unit
+val is_enabled : unit -> bool
+
+val with_run : string -> (unit -> 'a) -> 'a
+(** [with_run label f] labels every record made by [f] (on this domain)
+    with [label] and restarts the sequence counter; the previous context
+    is restored afterwards, also on exceptions. *)
+
+val record :
+  task:int ->
+  rule:string ->
+  chosen:int ->
+  budgeted_deadline:float ->
+  finishes:float array ->
+  unit
+(** [finishes.(k)] is F(task, k); [infinity] marks PEs the task cannot
+    run on (failed, or disconnected from a predecessor). *)
+
+val count : unit -> int
+
+val export_jsonl : unit -> string
+(** One JSON object per line (schema [nocsched/decisions/v1]), ordered
+    by (run, seq):
+    [{"run": ..., "seq": ..., "task": ..., "rule": ..., "chosen": ...,
+      "chosen_f": ..., "budgeted_deadline": ...,
+      "candidates": [{"pe": ..., "f": ...}, ...]}]
+    Non-finite F values are encoded as the strings ["inf"]/["nan"]. *)
+
+val reset : unit -> unit

@@ -1,0 +1,28 @@
+(** Minimal JSON support: a hand-rolled parser (no external
+    dependencies) for the trace schema checker and tests, plus the
+    escaping helpers the exporters share. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Strict RFC-8259 subset: objects, arrays, strings (with the standard
+    escapes incl. [\uXXXX], decoded byte-wise without surrogate-pair
+    recombination), numbers, [true]/[false]/[null]. Trailing garbage is
+    an error. Errors carry the byte offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on other constructors. *)
+
+val escape_string : string -> string
+(** [escape_string s] is [s] as a quoted JSON string literal. *)
+
+val number : float -> string
+(** A finite float as a JSON number ([%.17g], round-trippable);
+    infinities and NaN — JSON has no literal for them — are encoded as
+    the strings ["inf"], ["-inf"] and ["nan"]. *)

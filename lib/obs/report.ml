@@ -1,0 +1,26 @@
+let ms_cell v = Noc_util.Text_table.float_cell ~decimals:3 v
+
+let render () =
+  let buf = Buffer.create 1024 in
+  let counters = Counters.snapshot () in
+  Buffer.add_string buf "observability counters\n";
+  if counters = [] then Buffer.add_string buf "  (no counters recorded)\n"
+  else
+    Buffer.add_string buf
+      (Noc_util.Text_table.render ~header:[ "counter"; "count" ]
+         (List.map (fun (name, v) -> [ name; string_of_int v ]) counters));
+  let histograms = Counters.summaries () in
+  Buffer.add_string buf "\nspan timings\n";
+  if histograms = [] then
+    Buffer.add_string buf "  (no spans recorded; pass --trace or enable tracing)\n"
+  else
+    Buffer.add_string buf
+      (Noc_util.Text_table.render
+         ~header:[ "span"; "count"; "p50 ms"; "p95 ms"; "max ms" ]
+         (List.map
+            (fun (name, (s : Counters.summary)) ->
+              [ name; string_of_int s.count; ms_cell s.p50; ms_cell s.p95; ms_cell s.max ])
+            histograms));
+  if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> '\n' then
+    Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,7 @@
+(** One-screen [--stats] summary: the counter registry and span-time
+    histograms rendered as {!Noc_util.Text_table} tables. *)
+
+val render : unit -> string
+(** Counter table (name | count) followed by a histogram table
+    (span | count | p50 ms | p95 ms | max ms); empty registries render
+    a short placeholder line instead of an empty table. *)

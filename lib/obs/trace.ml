@@ -1,0 +1,174 @@
+type value = String of string | Int of int | Float of float | Bool of bool
+
+type phase = Complete | Instant
+
+type event = {
+  name : string;
+  cat : string;
+  phase : phase;
+  ts : float;  (* µs since the trace epoch *)
+  dur : float;  (* µs; 0 for instants *)
+  args : (string * value) list;
+}
+
+let enabled = Atomic.make false
+let epoch = Atomic.make 0.
+
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* Per-domain buffers: each domain appends to its own event list (no
+   lock on the hot path), and the global registry only grows under the
+   lock when a domain first records. Buffers of joined domains stay
+   registered so their spans survive until export/reset. *)
+type buffer = { domain : int; mutable events : event list }
+
+let buffers_lock = Mutex.create ()
+let buffers : buffer list ref = ref []
+
+let buffer_key : buffer Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { domain = (Domain.self () :> int); events = [] } in
+      with_lock buffers_lock (fun () -> buffers := b :: !buffers);
+      b)
+
+let set_enabled v =
+  if v then Atomic.set epoch (Noc_util.Clock.wall_s ());
+  Atomic.set enabled v
+
+let is_enabled () = Atomic.get enabled
+
+let now_us () = (Noc_util.Clock.wall_s () -. Atomic.get epoch) *. 1e6
+
+let no_args () = []
+
+let span ?(cat = "sched") ?(args = no_args) name f =
+  if not (Atomic.get enabled) then f ()
+  else begin
+    let buffer = Domain.DLS.get buffer_key in
+    let t0 = now_us () in
+    let record () =
+      let t1 = now_us () in
+      buffer.events <-
+        { name; cat; phase = Complete; ts = t0; dur = t1 -. t0; args = args () }
+        :: buffer.events;
+      (* Phase-time distribution for the --stats report; milliseconds. *)
+      Counters.observe (Counters.histogram name) ((t1 -. t0) /. 1e3)
+    in
+    match f () with
+    | v ->
+      record ();
+      v
+    | exception e ->
+      record ();
+      raise e
+  end
+
+let instant ?(cat = "mark") ?(args = no_args) name =
+  if Atomic.get enabled then begin
+    let buffer = Domain.DLS.get buffer_key in
+    buffer.events <-
+      { name; cat; phase = Instant; ts = now_us (); dur = 0.; args = args () }
+      :: buffer.events
+  end
+
+let snapshot_buffers () =
+  with_lock buffers_lock (fun () ->
+      List.map (fun b -> (b.domain, List.rev b.events)) !buffers)
+
+let event_count () =
+  List.fold_left
+    (fun acc (_, events) -> acc + List.length events)
+    0 (snapshot_buffers ())
+
+let reset () =
+  with_lock buffers_lock (fun () ->
+      List.iter (fun b -> b.events <- []) !buffers)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event JSON export.                                     *)
+
+let value_json = function
+  | String s -> Json.escape_string s
+  | Int i -> string_of_int i
+  | Float f -> Json.number f
+  | Bool b -> string_of_bool b
+
+let args_json args =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Json.escape_string k ^ ": " ^ value_json v) args)
+  ^ "}"
+
+let event_json ~domain e =
+  let common =
+    Printf.sprintf "\"name\": %s, \"cat\": %s, \"pid\": %d, \"tid\": %d, \"ts\": %s"
+      (Json.escape_string e.name) (Json.escape_string e.cat) domain domain
+      (Json.number e.ts)
+  in
+  match e.phase with
+  | Complete ->
+    Printf.sprintf "{\"ph\": \"X\", %s, \"dur\": %s, \"args\": %s}" common
+      (Json.number e.dur) (args_json e.args)
+  | Instant ->
+    Printf.sprintf "{\"ph\": \"i\", %s, \"s\": \"t\", \"args\": %s}" common
+      (args_json e.args)
+
+let export () =
+  let per_domain =
+    List.sort compare (List.filter (fun (_, es) -> es <> []) (snapshot_buffers ()))
+  in
+  let counters = Counters.snapshot () in
+  let histograms = Counters.summaries () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n\"traceEvents\": [\n";
+  let lines = ref [] in
+  List.iter
+    (fun (domain, events) ->
+      lines :=
+        Printf.sprintf
+          "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": %d, \"tid\": %d, \
+           \"ts\": 0, \"args\": {\"name\": \"domain %d\"}}"
+          domain domain domain
+        :: !lines;
+      List.iter (fun e -> lines := event_json ~domain e :: !lines) events)
+    per_domain;
+  (* One final counter event so Perfetto renders the totals as a track. *)
+  let last_ts =
+    List.fold_left
+      (fun acc (_, events) ->
+        List.fold_left (fun acc e -> Float.max acc (e.ts +. e.dur)) acc events)
+      0. per_domain
+  in
+  if counters <> [] then
+    lines :=
+      Printf.sprintf
+        "{\"ph\": \"C\", \"name\": \"nocsched counters\", \"pid\": 0, \"tid\": 0, \
+         \"ts\": %s, \"args\": %s}"
+        (Json.number last_ts)
+        (args_json (List.map (fun (k, v) -> (k, Int v)) counters))
+      :: !lines;
+  Buffer.add_string buf (String.concat ",\n" (List.rev !lines));
+  Buffer.add_string buf "\n],\n\"displayTimeUnit\": \"ms\",\n";
+  Buffer.add_string buf "\"otherData\": {\n  \"schema\": \"nocsched/trace/v1\",\n";
+  Buffer.add_string buf "  \"counters\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (k, v) -> Json.escape_string k ^ ": " ^ string_of_int v)
+          counters));
+  Buffer.add_string buf "},\n  \"histograms\": {";
+  Buffer.add_string buf
+    (String.concat ", "
+       (List.map
+          (fun (k, (s : Counters.summary)) ->
+            Printf.sprintf
+              "%s: {\"count\": %d, \"min\": %s, \"max\": %s, \"mean\": %s, \
+               \"p50\": %s, \"p95\": %s}"
+              (Json.escape_string k) s.Counters.count (Json.number s.Counters.min)
+              (Json.number s.Counters.max) (Json.number s.Counters.mean)
+              (Json.number s.Counters.p50) (Json.number s.Counters.p95))
+          histograms));
+  Buffer.add_string buf "}\n}\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,140 @@
+let ( let* ) = Result.bind
+
+let error fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let number_field name obj =
+  match Json.member name obj with
+  | Some (Json.Number f) -> Ok f
+  | Some _ -> error "field %S is not a number" name
+  | None -> error "missing field %S" name
+
+let string_field name obj =
+  match Json.member name obj with
+  | Some (Json.String s) -> Ok s
+  | Some _ -> error "field %S is not a string" name
+  | None -> error "missing field %S" name
+
+type span = { pid : int; t0 : float; t1 : float; name : string }
+
+(* Timestamps come through a float JSON round-trip; tolerate tiny
+   overlap when deciding whether two spans nest. *)
+let eps = 1e-6
+
+let check_event ~index event =
+  let* () =
+    match event with Json.Obj _ -> Ok () | _ -> error "event %d is not an object" index
+  in
+  let* ph = string_field "ph" event in
+  let* name = string_field "name" event in
+  let* () =
+    match ph with
+    | "X" | "i" | "M" | "C" -> Ok ()
+    | ph -> error "event %d (%S) has unsupported phase %S" index name ph
+  in
+  if ph = "M" then Ok None
+  else
+    let* pid = number_field "pid" event in
+    let* ts = number_field "ts" event in
+    match ph with
+    | "X" ->
+      let* dur = number_field "dur" event in
+      if dur < 0. then error "span %d (%S) has negative dur %g" index name dur
+      else Ok (Some { pid = int_of_float pid; t0 = ts; t1 = ts +. dur; name })
+    | _ ->
+      ignore ts;
+      Ok None
+
+(* Sort one pid's spans by (start asc, duration desc) and sweep with a
+   stack: every span must start inside (or after) the innermost open
+   span, and must not outlive it. *)
+let check_nesting pid spans =
+  let spans =
+    List.sort
+      (fun a b ->
+        let c = compare a.t0 b.t0 in
+        if c <> 0 then c else compare b.t1 a.t1)
+      spans
+  in
+  let rec sweep stack = function
+    | [] -> Ok ()
+    | span :: rest -> (
+      match stack with
+      | top :: deeper when span.t0 >= top.t1 -. eps -> sweep deeper (span :: rest)
+      | top :: _ when span.t1 > top.t1 +. eps ->
+        error "pid %d: span %S [%g, %g] straddles enclosing span %S [%g, %g]" pid
+          span.name span.t0 span.t1 top.name top.t0 top.t1
+      | _ -> sweep (span :: stack) rest)
+  in
+  sweep [] spans
+
+let group_by_pid spans =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let existing = try Hashtbl.find tbl s.pid with Not_found -> [] in
+      Hashtbl.replace tbl s.pid (s :: existing))
+    spans;
+  List.sort compare (Hashtbl.fold (fun pid ss acc -> (pid, ss) :: acc) tbl [])
+
+let check ?(require_counters = false) text =
+  let* doc =
+    match Json.parse text with
+    | Ok doc -> Ok doc
+    | Error e -> error "not valid JSON: %s" e
+  in
+  let* events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List events) -> Ok events
+    | Some _ -> Error "\"traceEvents\" is not an array"
+    | None -> Error "missing \"traceEvents\""
+  in
+  let* spans =
+    List.fold_left
+      (fun acc event ->
+        let* acc, index = acc in
+        let* span = check_event ~index event in
+        Ok ((match span with Some s -> s :: acc | None -> acc), index + 1))
+      (Ok ([], 0))
+      events
+    |> Result.map fst
+  in
+  let* () =
+    List.fold_left
+      (fun acc (pid, spans) ->
+        let* () = acc in
+        check_nesting pid spans)
+      (Ok ())
+      (group_by_pid spans)
+  in
+  let* () =
+    match Json.member "otherData" doc with
+    | Some other -> (
+      match Json.member "schema" other with
+      | Some (Json.String "nocsched/trace/v1") -> Ok ()
+      | Some (Json.String s) -> error "unexpected schema %S" s
+      | Some _ | None -> Error "otherData has no \"schema\" string"
+    )
+    | None -> Error "missing \"otherData\""
+  in
+  if not require_counters then Ok ()
+  else
+    let has_counter_event =
+      List.exists
+        (fun e -> match Json.member "ph" e with Some (Json.String "C") -> true | _ -> false)
+        events
+    in
+    let* () =
+      if has_counter_event then Ok ()
+      else Error "no \"C\" counter event (required)"
+    in
+    match Json.member "otherData" doc with
+    | Some other -> (
+      match Json.member "counters" other with
+      | Some (Json.Obj (_ :: _)) -> Ok ()
+      | Some _ | None -> Error "otherData.counters is missing or empty (required)")
+    | None -> Error "missing \"otherData\""
+
+let check_file ?require_counters path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> check ?require_counters text
+  | exception Sys_error e -> Error e

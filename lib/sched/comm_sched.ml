@@ -2,7 +2,10 @@ type model = Contention_aware | Fixed_delay
 
 type pending = { edge : int; src_pe : int; sender_finish : float; bits : float }
 
+let c_transactions = Noc_obs.Counters.counter "sched.comm.transactions"
+
 let place ?(model = Contention_aware) ?degraded state pending ~dst_pe =
+  Noc_obs.Counters.incr c_transactions;
   let platform = Resource_state.platform state in
   let src_pe = pending.src_pe in
   if src_pe = dst_pe then

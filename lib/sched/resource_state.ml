@@ -24,10 +24,16 @@ let link_index t (link : Noc_noc.Routing.link) =
 
 let link_table t link = t.link_tables.(link_index t link)
 
+let c_reservations = Noc_obs.Counters.counter "sched.resource_state.reservations"
+let c_snapshots = Noc_obs.Counters.counter "sched.resource_state.snapshots"
+let c_rollbacks = Noc_obs.Counters.counter "sched.resource_state.rollbacks"
+
 let journalled_reserve t table interval =
   Noc_util.Timeline.reserve table interval;
-  if not (Noc_util.Interval.is_empty interval) then
+  if not (Noc_util.Interval.is_empty interval) then begin
+    Noc_obs.Counters.incr c_reservations;
     t.journal <- { table; interval } :: t.journal
+  end
 
 let reserve_pe t ~pe interval = journalled_reserve t t.pe_tables.(pe) interval
 let reserve_link t link interval = journalled_reserve t (link_table t link) interval
@@ -44,9 +50,12 @@ let earliest_route_gap t ~route ~after ~duration =
 
 type mark = entry list
 
-let mark t = t.journal
+let mark t =
+  Noc_obs.Counters.incr c_snapshots;
+  t.journal
 
 let rollback t m =
+  Noc_obs.Counters.incr c_rollbacks;
   let rec undo journal =
     if journal == m then journal
     else

@@ -78,6 +78,10 @@ let kill_faulted_work st ~time =
       | Some _ | None -> ())
     st.running
 
+let c_events = Noc_obs.Counters.counter "sim.events"
+let c_granted = Noc_obs.Counters.counter "sim.transactions_granted"
+let c_issued = Noc_obs.Counters.counter "sim.tasks_issued"
+
 (* One pass of the dispatch rules at the current instant; returns true
    when something started (so the caller loops to a fixpoint). *)
 let try_dispatch st ~time =
@@ -103,6 +107,7 @@ let try_dispatch st ~time =
           st.waiting_time <- st.waiting_time +. (time -. p.eligible);
           Event_queue.push st.events ~time:(time +. duration)
             (Transaction_finished p.edge);
+          Noc_obs.Counters.incr c_granted;
           started := true;
           false
         end
@@ -138,6 +143,7 @@ let try_dispatch st ~time =
         st.task_start.(head) <- time;
         st.task_finish.(head) <- time +. exec;
         Event_queue.push st.events ~time:(time +. exec) (Task_finished head);
+        Noc_obs.Counters.incr c_issued;
         started := true
       end
     | _ :: _ | [] -> ()
@@ -156,6 +162,13 @@ type outcome = {
 
 let run ?(discipline = Time_triggered) ?(faults = Fault_set.empty) platform ctg schedule
     =
+  Noc_obs.Trace.span ~cat:"sim" "sim/execute"
+    ~args:(fun () ->
+      [
+        ("tasks", Noc_obs.Trace.Int (Noc_ctg.Ctg.n_tasks ctg));
+        ("faults", Noc_obs.Trace.Bool (not (Fault_set.is_empty faults)));
+      ])
+  @@ fun () ->
   let n = Noc_ctg.Ctg.n_tasks ctg in
   let n_pes = Noc_noc.Platform.n_pes platform in
   let assignment = Array.init n (fun i -> (Schedule.placement schedule i).Schedule.pe) in
@@ -208,6 +221,7 @@ let run ?(discipline = Time_triggered) ?(faults = Fault_set.empty) platform ctg 
     match Event_queue.pop st.events with
     | None -> ()
     | Some (time, event) ->
+      Noc_obs.Counters.incr c_events;
       kill_faulted_work st ~time;
       (match event with
       | Task_finished t when st.killed.(t) -> ()

@@ -40,6 +40,28 @@ let two_smallest arr =
     arr;
   if Array.length arr = 1 then (!best, !best) else (!best, !second)
 
+(* Percentile with linear interpolation between closest ranks (the
+   "exclusive of the extremes" convention is deliberately avoided so
+   p=0 and p=100 are exactly the min and max). Sorts a copy: callers on
+   hot paths should sort once and use [percentile_sorted]. *)
+let percentile_sorted sorted ~p =
+  assert (Array.length sorted > 0);
+  if not (p >= 0. && p <= 100.) then
+    invalid_arg "Stats.percentile: p must lie in [0, 100]";
+  let n = Array.length sorted in
+  let rank = p /. 100. *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  let frac = rank -. Float.floor rank in
+  (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+
+let percentile arr ~p =
+  let sorted = Array.copy arr in
+  Array.sort Float.compare sorted;
+  percentile_sorted sorted ~p
+
+let median arr = percentile arr ~p:50.
+
 let fequal ?(eps = 1e-9) a b =
   let diff = Float.abs (a -. b) in
   diff <= eps || diff <= eps *. Float.max (Float.abs a) (Float.abs b)

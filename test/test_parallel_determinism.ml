@@ -61,10 +61,57 @@ let test_fault_campaign_jobs_invariant () =
         serial (run jobs))
     (List.tl job_counts)
 
+let test_obs_jobs_invariant () =
+  (* Observability must not break determinism: the counter totals and the
+     sorted decision log captured around a campaign are bit-identical at
+     every job count. Routes are warmed by an untracked run first so the
+     shared route memo starts from the same state for every job count. *)
+  let indices = List.init 20 Fun.id in
+  let run jobs =
+    ignore
+      (Noc_experiments.Random_suite.run ~jobs ~indices ~scale:0.08
+         Noc_tgff.Category.Category_i)
+  in
+  run 1;
+  let capture jobs =
+    Noc_obs.Counters.reset ();
+    Noc_obs.Decisions.reset ();
+    Noc_obs.Counters.set_enabled true;
+    Noc_obs.Decisions.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        Noc_obs.Counters.set_enabled false;
+        Noc_obs.Decisions.set_enabled false)
+      (fun () ->
+        run jobs;
+        let counters =
+          String.concat "\n"
+            (List.map
+               (fun (name, v) -> Printf.sprintf "%s=%d" name v)
+               (Noc_obs.Counters.snapshot ()))
+        in
+        (counters, Noc_obs.Decisions.export_jsonl ()))
+  in
+  let serial_counters, serial_decisions = capture 1 in
+  Alcotest.(check bool) "counters were collected" true (serial_counters <> "");
+  Alcotest.(check bool) "decisions were collected" true (serial_decisions <> "");
+  List.iter
+    (fun jobs ->
+      let counters, decisions = capture jobs in
+      Alcotest.(check string)
+        (Printf.sprintf "counters identical at jobs=%d" jobs)
+        serial_counters counters;
+      Alcotest.(check string)
+        (Printf.sprintf "decision log identical at jobs=%d" jobs)
+        serial_decisions decisions)
+    (List.tl job_counts)
+
 let suite =
   [
     Alcotest.test_case "random suite invariant under --jobs" `Slow
       test_random_suite_jobs_invariant;
     Alcotest.test_case "fault campaign invariant under --jobs" `Slow
       test_fault_campaign_jobs_invariant;
+    Alcotest.test_case "counters and decisions invariant under --jobs" `Slow
+      test_obs_jobs_invariant;
   ]

@@ -51,6 +51,58 @@ let test_fequal () =
     (Stats.fequal ~eps:1e-6 1e12 (1e12 +. 1.));
   Alcotest.(check bool) "different" false (Stats.fequal 1. 2.)
 
+let test_median () =
+  Alcotest.(check (float 1e-12)) "odd length" 3. (Stats.median [| 5.; 3.; 1. |]);
+  Alcotest.(check (float 1e-12)) "even length interpolates" 2.5
+    (Stats.median [| 4.; 1.; 2.; 3. |]);
+  Alcotest.(check (float 1e-12)) "singleton" 9. (Stats.median [| 9. |])
+
+let test_percentile () =
+  let arr = [| 10.; 20.; 30.; 40. |] in
+  Alcotest.(check (float 1e-12)) "p0 is min" 10. (Stats.percentile arr ~p:0.);
+  Alcotest.(check (float 1e-12)) "p100 is max" 40. (Stats.percentile arr ~p:100.);
+  (* rank = 0.95 * 3 = 2.85: interpolate between 30 and 40. *)
+  Alcotest.(check (float 1e-9)) "p95 interpolates" 38.5 (Stats.percentile arr ~p:95.);
+  Alcotest.(check (float 1e-12)) "input left unsorted" 38.5
+    (Stats.percentile [| 40.; 10.; 30.; 20. |] ~p:95.);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p must lie in [0, 100]") (fun () ->
+      ignore (Stats.percentile arr ~p:101.))
+
+let test_percentile_sorted () =
+  let sorted = [| 1.; 2.; 3. |] in
+  Alcotest.(check (float 1e-12)) "p50 on sorted" 2.
+    (Stats.percentile_sorted sorted ~p:50.);
+  Alcotest.(check (float 1e-12)) "p25 interpolates" 1.5
+    (Stats.percentile_sorted sorted ~p:25.)
+
+let nonempty_floats =
+  QCheck.(list_of_size (Gen.int_range 1 20) (float_range (-1000.) 1000.))
+
+let qcheck_percentile_bounds =
+  QCheck.Test.make ~name:"percentile lies between min and max" ~count:300
+    QCheck.(pair nonempty_floats (float_range 0. 100.))
+    (fun (floats, p) ->
+      let arr = Array.of_list floats in
+      let v = Stats.percentile arr ~p in
+      Stats.min_value arr <= v && v <= Stats.max_value arr)
+
+let qcheck_percentile_monotone =
+  QCheck.Test.make ~name:"percentile is monotone in p" ~count:300
+    QCheck.(triple nonempty_floats (float_range 0. 100.) (float_range 0. 100.))
+    (fun (floats, p1, p2) ->
+      let arr = Array.of_list floats in
+      let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+      Stats.percentile arr ~p:lo <= Stats.percentile arr ~p:hi)
+
+let qcheck_percentile_endpoints =
+  QCheck.Test.make ~name:"p0/p100 are the extremes, p50 the median" ~count:300
+    nonempty_floats (fun floats ->
+      let arr = Array.of_list floats in
+      Stats.percentile arr ~p:0. = Stats.min_value arr
+      && Stats.percentile arr ~p:100. = Stats.max_value arr
+      && Stats.median arr = Stats.percentile arr ~p:50.)
+
 let qcheck_variance_nonneg =
   QCheck.Test.make ~name:"variance is non-negative" ~count:300
     QCheck.(list_of_size (Gen.int_range 1 20) (float_range (-1000.) 1000.))
@@ -68,5 +120,11 @@ let suite =
     Alcotest.test_case "two smallest singleton" `Quick test_two_smallest_singleton;
     Alcotest.test_case "sum" `Quick test_sum;
     Alcotest.test_case "fequal" `Quick test_fequal;
+    Alcotest.test_case "median" `Quick test_median;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile (pre-sorted)" `Quick test_percentile_sorted;
     QCheck_alcotest.to_alcotest qcheck_variance_nonneg;
+    QCheck_alcotest.to_alcotest qcheck_percentile_bounds;
+    QCheck_alcotest.to_alcotest qcheck_percentile_monotone;
+    QCheck_alcotest.to_alcotest qcheck_percentile_endpoints;
   ]

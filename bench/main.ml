@@ -274,6 +274,12 @@ module Json_bench = struct
         ])
       [ 1_000; 10_000 ]
 
+  (* Pre-kernel baseline: the category-I EAS median recorded by this
+     gate before the flat-array kernel landed (BENCH_timeline.json
+     history). The kernel PR's acceptance bar is >= 5x against it. *)
+  let eas_baseline_s = 0.0642
+  let eas_speedup_threshold = 5.
+
   let eas_rows () =
     let platform = Noc_tgff.Category.platform in
     let params = Noc_tgff.Category.params Noc_tgff.Category.Category_i in
@@ -285,7 +291,7 @@ module Json_bench = struct
               ignore (Noc_eas.Eas.schedule platform ctg))
         in
         (Printf.sprintf "category-i/%d" index, wall))
-      [ 0; 1; 2 ]
+      (List.init 10 Fun.id)
 
   let run file =
     (* Open the output before the measurements so a bad path fails in
@@ -311,7 +317,7 @@ module Json_bench = struct
     in
     let buf = Buffer.create 2048 in
     Buffer.add_string buf "{\n";
-    Buffer.add_string buf "  \"schema\": \"nocsched/bench-timeline/v1\",\n";
+    Buffer.add_string buf "  \"schema\": \"nocsched/bench-timeline/v2\",\n";
     Buffer.add_string buf "  \"timeline_ns_per_op\": [\n";
     List.iteri
       (fun i r ->
@@ -333,9 +339,18 @@ module Json_bench = struct
              (if i = List.length eas - 1 then "" else ",")))
       eas;
     Buffer.add_string buf "  ],\n";
+    let walls = Array.of_list (List.map snd eas) in
+    let p50 = Noc_util.Stats.percentile walls ~p:50. in
+    let p90 = Noc_util.Stats.percentile walls ~p:90. in
+    let eas_speedup = eas_baseline_s /. p50 in
     Buffer.add_string buf
-      (Printf.sprintf "  \"eas_category_i_median_s\": %.4f\n"
-         (median (List.map snd eas)));
+      (Printf.sprintf "  \"eas_category_i_p50_s\": %.4f,\n" p50);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"eas_category_i_p90_s\": %.4f,\n" p90);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"eas_baseline_s\": %.4f,\n" eas_baseline_s);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"eas_speedup_vs_baseline\": %.1f\n" eas_speedup);
     Buffer.add_string buf "}\n";
     output_string oc (Buffer.contents buf);
     close_out oc;
@@ -346,6 +361,13 @@ module Json_bench = struct
         "bench gate FAILED: reserve+gap at 10k slots only %.1fx faster than the \
          reference list implementation (need >= 5x)\n"
         speedup;
+      exit 1
+    end;
+    if eas_speedup < eas_speedup_threshold then begin
+      Printf.eprintf
+        "bench gate FAILED: category-I EAS p50 wall time %.4f s is only %.1fx \
+         faster than the %.4f s pre-kernel baseline (need >= %.1fx)\n"
+        p50 eas_speedup eas_baseline_s eas_speedup_threshold;
       exit 1
     end
 end

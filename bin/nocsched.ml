@@ -280,8 +280,18 @@ let schedule_cmd =
              ~doc:"Task-graph file to schedule (text format); shorthand for \
                    $(b,--input) FILE.")
   in
-  let run spec algo mesh tasks tightness gantt input save utilization svg file obs =
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Fan the EAS candidate evaluations out over N domains. The \
+                   schedule is bit-identical at every job count.")
+  in
+  let run spec algo mesh tasks tightness gantt input save utilization svg file jobs
+      obs =
     with_obs obs @@ fun () ->
+    (match jobs with
+    | Some n when n < 1 -> failwith "--jobs must be at least 1"
+    | Some _ | None -> ());
     let input = match file with Some _ -> file | None -> input in
     let platform, ctg =
       match input with
@@ -306,7 +316,7 @@ let schedule_cmd =
     if evaluation.Noc_experiments.Runner.resource_violations > 0 then
       Noc_obs.Log.warnf "%d resource violations"
         evaluation.Noc_experiments.Runner.resource_violations;
-    let schedule = Noc_experiments.Runner.schedule_of algo platform ctg in
+    let schedule = Noc_experiments.Runner.schedule_of ?jobs algo platform ctg in
     Option.iter
       (fun path ->
         Noc_sched.Schedule_io.save ~path schedule;
@@ -333,7 +343,7 @@ let schedule_cmd =
     Term.(term_result
             (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
              $ gantt_arg $ input_arg $ save_arg $ utilization_arg $ svg_arg
-             $ file_arg $ obs_term))
+             $ file_arg $ jobs_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)

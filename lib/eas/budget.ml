@@ -14,13 +14,23 @@ type backward = {
   remaining_count : int;
 }
 
-let compute ?(weighting = Variance_product) ctg =
+let compute ?(weighting = Variance_product) ?kernel ctg =
   let n = Noc_ctg.Ctg.n_tasks ctg in
   let task i = Noc_ctg.Ctg.task ctg i in
-  let mean_times = Array.init n (fun i -> Noc_ctg.Task.mean_exec_time (task i)) in
+  (* The kernel carries the same per-task means and variance-product
+     weights, computed once by the same [Task] functions — reading them
+     back is bit-identical to recomputing. *)
+  let mean_times =
+    match kernel with
+    | Some kernel -> Array.init n (Kernel.mean_time kernel)
+    | None -> Array.init n (fun i -> Noc_ctg.Task.mean_exec_time (task i))
+  in
   let weights =
     match weighting with
-    | Variance_product -> Array.init n (fun i -> Noc_ctg.Task.weight (task i))
+    | Variance_product -> (
+      match kernel with
+      | Some kernel -> Array.init n (Kernel.weight kernel)
+      | None -> Array.init n (fun i -> Noc_ctg.Task.weight (task i)))
     | Mean_time -> Array.copy mean_times
     | Uniform -> Array.make n 1.
   in

@@ -30,9 +30,11 @@ type t = {
   budgeted_deadlines : float array;  (** [BD_i]; [infinity] if unconstrained. *)
 }
 
-val compute : ?weighting:weighting -> Noc_ctg.Ctg.t -> t
+val compute : ?weighting:weighting -> ?kernel:Kernel.t -> Noc_ctg.Ctg.t -> t
 (** Default weighting: [Variance_product], as in the paper. The other
     schemes feed the slack-weighting ablation (see
-    {!Noc_experiments.Weight_ablation}). *)
+    {!Noc_experiments.Weight_ablation}). With [kernel] the per-task
+    means and variance-product weights are read from the prebuilt
+    matrices instead of being re-derived — same floats either way. *)
 
 val pp : Format.formatter -> t -> unit

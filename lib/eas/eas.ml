@@ -19,7 +19,8 @@ let count_misses ctg schedule =
         else acc)
     0 (Noc_ctg.Ctg.tasks ctg)
 
-let schedule ?(repair = true) ?comm_model ?degraded ?weighting platform ctg =
+let schedule ?(repair = true) ?comm_model ?degraded ?weighting ?kernel ?jobs
+    platform ctg =
   let span ?args name f = Noc_obs.Trace.span ~cat:"eas" ?args name f in
   span "eas/schedule"
     ~args:(fun () ->
@@ -29,16 +30,22 @@ let schedule ?(repair = true) ?comm_model ?degraded ?weighting platform ctg =
       ])
   @@ fun () ->
   let t0 = Noc_util.Clock.wall_s () in
-  let budget = span "eas/budget" (fun () -> Budget.compute ?weighting ctg) in
+  let kernel =
+    match kernel with
+    | Some k -> k
+    | None -> span "eas/kernel" (fun () -> Kernel.build ?degraded platform ctg)
+  in
+  let budget = span "eas/budget" (fun () -> Budget.compute ?weighting ~kernel ctg) in
   let base =
     span "eas/level_sched" (fun () ->
-        Level_sched.run ?comm_model ?degraded platform ctg budget)
+        Level_sched.run ?comm_model ?degraded ~kernel ?jobs platform ctg budget)
   in
   let misses_before_repair = count_misses ctg base in
   let repaired, repair_stats =
     if repair && misses_before_repair > 0 then
       let s, st =
-        span "eas/repair" (fun () -> Repair.run ?comm_model ?degraded platform ctg base)
+        span "eas/repair" (fun () ->
+            Repair.run ?comm_model ?degraded ~kernel platform ctg base)
       in
       (s, Some st)
     else (base, None)

@@ -20,6 +20,8 @@ val schedule :
   ?comm_model:Noc_sched.Comm_sched.model ->
   ?degraded:Noc_noc.Degraded.t ->
   ?weighting:Budget.weighting ->
+  ?kernel:Kernel.t ->
+  ?jobs:int ->
   Noc_noc.Platform.t ->
   Noc_ctg.Ctg.t ->
   outcome
@@ -31,7 +33,11 @@ val schedule :
     Step 1 slack-weighting scheme for the corresponding ablation. With
     [degraded], the whole pipeline schedules for the degraded platform:
     failed PEs receive nothing and routes detour around failed links
-    (see {!Level_sched.run} for the failure cases). *)
+    (see {!Level_sched.run} for the failure cases). The flat-array
+    {!Kernel} is built once (span ["eas/kernel"]) and threaded through
+    all three steps; pass [kernel] to reuse a prebuilt one across runs
+    and [jobs] to parallelise Step 2's candidate probes (default 1;
+    placements are bit-identical at every job count). *)
 
 val count_misses : Noc_ctg.Ctg.t -> Noc_sched.Schedule.t -> int
 (** Number of tasks whose scheduled finish exceeds their deadline. *)

@@ -58,6 +58,9 @@ let run ?comm_model ?max_evaluations platform ctg ~faults schedule =
       ctg
   else begin
     let n_pes = Noc_noc.Platform.n_pes platform in
+    (* One kernel over the degraded fabric prices every migration here
+       and feeds the repair search and the full rerun below. *)
+    let kernel = Kernel.build ~degraded platform ctg in
     let assignment, rank = Rebuild.of_schedule schedule in
     (* Step 1: every task stranded on a failed PE migrates to the
        cheapest alive destination (same ordering as a GTM move). *)
@@ -68,8 +71,7 @@ let run ?comm_model ?max_evaluations platform ctg ~faults schedule =
           let best =
             List.init n_pes Fun.id
             |> List.filter (Degraded.pe_alive degraded)
-            |> List.map (fun k ->
-                   (Repair.move_energy ~degraded platform ctg ~assignment i k, k))
+            |> List.map (fun k -> (Repair.move_energy kernel ctg ~assignment i k, k))
             |> List.sort compare |> List.hd |> snd
           in
           assignment.(i) <- best;
@@ -91,14 +93,18 @@ let run ?comm_model ?max_evaluations platform ctg ~faults schedule =
       | Some s ->
         if fst (score ctg s) = 0 then Some (s, None)
         else
-          let s', st = Repair.run ?comm_model ~degraded ?max_evaluations platform ctg s in
+          let s', st =
+            Repair.run ?comm_model ~degraded ~kernel ?max_evaluations platform ctg s
+          in
           Some (s', Some st)
     in
     match repaired with
     | Some (s, repair) when fst (score ctg s) = 0 ->
       finish ~original:schedule ~migrated:!migrated ~used_full_rerun:false ~repair s ctg
     | _ ->
-      let full = (Eas.schedule ?comm_model ~degraded platform ctg).Eas.schedule in
+      let full =
+        (Eas.schedule ?comm_model ~degraded ~kernel platform ctg).Eas.schedule
+      in
       (match repaired with
       | Some (s, repair) when better (score ctg s) (score ctg full) ->
         finish ~original:schedule ~migrated:!migrated ~used_full_rerun:false ~repair s

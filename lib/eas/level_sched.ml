@@ -1,6 +1,7 @@
 module Schedule = Noc_sched.Schedule
 module Comm_sched = Noc_sched.Comm_sched
 module Resource_state = Noc_sched.Resource_state
+module Timeline = Noc_util.Timeline
 
 type partial = {
   state : Resource_state.t;
@@ -22,14 +23,39 @@ let incoming_pendings ctg partial i =
         })
     (Noc_ctg.Ctg.in_edges ctg i)
 
-(* Tentatively place task [i] on PE [k]: schedule its receiving
-   transactions and find the earliest execution window. Reservations stay
-   in force (the caller brackets the call with mark/rollback, or keeps
-   them when committing). [pendings] must be [incoming_pendings] of [i];
-   it is invariant in [k] (every predecessor of a ready task is already
-   placed), so the F(i,k) loop builds it once per task instead of once
-   per candidate PE. *)
-let place ?comm_model ?degraded ~pendings ctg partial i k =
+let c_fik = Noc_obs.Counters.counter "eas.finish_time.evaluations"
+let c_fik_reused = Noc_obs.Counters.counter "eas.finish_time.reused"
+let c_energy = Noc_obs.Counters.counter "eas.assignment_energy.evaluations"
+
+(* Energy of running [i] on [k]: computation plus communication of the
+   already-placed incoming arcs (paper footnote 2), priced from the
+   kernel matrices. Bit-identical to the reference's per-call platform
+   queries: the kernel stores the very floats those queries return. A
+   pair the fault set disconnects prices as [infinity] instead of
+   raising — such a PE sorts last in the candidate order and can only
+   be a Rule 4 member for a deadline-free task, which no generated
+   graph produces. *)
+let assignment_energy kernel ctg partial i k =
+  let comm =
+    List.fold_left
+      (fun acc (e : Noc_ctg.Edge.t) ->
+        match partial.placements.(e.src) with
+        | None -> acc
+        | Some p ->
+          acc
+          +. Kernel.comm_energy_inf kernel ~src:p.Schedule.pe ~dst:k ~bits:e.volume)
+      0.
+      (Noc_ctg.Ctg.in_edges ctg i)
+  in
+  Kernel.exec_energy kernel ~task:i ~pe:k +. comm
+
+(* Committing is the only writer of shared state and stays on the
+   probing machinery: transactions are placed for real (reserving link
+   and PE slots through the journal), which also bumps the mutated
+   timelines' versions and thereby invalidates exactly the cached
+   F(i,k) values those tables fed. *)
+let commit ?comm_model ?degraded ctg partial i k =
+  let pendings = incoming_pendings ctg partial i in
   let transactions, drt =
     Comm_sched.schedule_incoming ?model:comm_model ?degraded partial.state pendings
       ~dst_pe:k
@@ -41,59 +67,19 @@ let place ?comm_model ?degraded ~pendings ctg partial i k =
     | None -> drt
     | Some release -> Float.max drt release
   in
-  let start = Resource_state.earliest_pe_gap partial.state ~pe:k ~after:ready ~duration:exec_time in
+  let start =
+    Resource_state.earliest_pe_gap partial.state ~pe:k ~after:ready
+      ~duration:exec_time
+  in
   let placement = { Schedule.task = i; pe = k; start; finish = start +. exec_time } in
-  (placement, transactions)
-
-let c_fik = Noc_obs.Counters.counter "eas.finish_time.evaluations"
-let c_energy = Noc_obs.Counters.counter "eas.assignment_energy.evaluations"
-
-let finish_time ?comm_model ?degraded ~pendings ctg partial i k =
-  Noc_obs.Counters.incr c_fik;
-  let mark = Resource_state.mark partial.state in
-  match place ?comm_model ?degraded ~pendings ctg partial i k with
-  | placement, _ ->
-    Resource_state.rollback partial.state mark;
-    placement.Schedule.finish
-  | exception Invalid_argument _ ->
-    (* The fault set disconnects a predecessor from PE [k]: [k] can
-       never receive the task's inputs. *)
-    Resource_state.rollback partial.state mark;
-    infinity
-
-(* Energy of running [i] on [k]: computation plus communication of the
-   already-placed incoming arcs (paper footnote 2). *)
-let assignment_energy ?degraded platform ctg partial i k =
-  let task = Noc_ctg.Ctg.task ctg i in
-  let comm_energy ~src ~dst ~bits =
-    match degraded with
-    | Some view when not (Noc_noc.Degraded.is_trivial view) ->
-      Noc_noc.Degraded.comm_energy view ~src ~dst ~bits
-    | Some _ | None -> Noc_noc.Platform.comm_energy platform ~src ~dst ~bits
-  in
-  let comm =
-    List.fold_left
-      (fun acc (e : Noc_ctg.Edge.t) ->
-        match partial.placements.(e.src) with
-        | None -> acc
-        | Some p -> acc +. comm_energy ~src:p.Schedule.pe ~dst:k ~bits:e.volume)
-      0.
-      (Noc_ctg.Ctg.in_edges ctg i)
-  in
-  task.Noc_ctg.Task.energies.(k) +. comm
-
-let commit ?comm_model ?degraded ctg partial i k =
-  let pendings = incoming_pendings ctg partial i in
-  let placement, transactions = place ?comm_model ?degraded ~pendings ctg partial i k in
   Resource_state.reserve_pe partial.state ~pe:k
-    (Noc_util.Interval.make ~start:placement.Schedule.start
-       ~stop:placement.Schedule.finish);
+    (Noc_util.Interval.make ~start ~stop:placement.Schedule.finish);
   partial.placements.(i) <- Some placement;
   List.iter
     (fun (tr : Schedule.transaction) -> partial.transactions.(tr.edge) <- Some tr)
     transactions
 
-let run ?comm_model ?degraded platform ctg (budget : Budget.t) =
+let run ?comm_model ?degraded ?kernel ?(jobs = 1) platform ctg (budget : Budget.t) =
   let n = Noc_ctg.Ctg.n_tasks ctg in
   let n_pes = Noc_noc.Platform.n_pes platform in
   let pe_alive k =
@@ -103,6 +89,9 @@ let run ?comm_model ?degraded platform ctg (budget : Budget.t) =
   in
   if not (List.exists pe_alive (List.init n_pes Fun.id)) then
     invalid_arg "Level_sched.run: every PE is failed";
+  let kernel =
+    match kernel with Some k -> k | None -> Kernel.build ?degraded platform ctg
+  in
   let partial =
     {
       state = Resource_state.create platform;
@@ -116,104 +105,282 @@ let run ?comm_model ?degraded platform ctg (budget : Budget.t) =
     if unscheduled_preds.(i) = 0 then ready := i :: !ready
   done;
   (* Once a task is ready its predecessors are all placed and never move
-     again, so both its pending list and its assignment energies are
-     fixed: compute them at most once per task, not once per candidate
-     PE per level iteration. The energy cache is filled lazily per PE
-     because [assignment_energy] on a degraded platform may raise for
-     pairs the fault set disconnects — those PEs are simply never
-     queried (their [F(i,k)] is infinite). *)
+     again, so its pending list (pre-sorted into the Fig. 3 evaluation
+     order), its assignment energies and the set of tables its probes
+     consult are all fixed: compute them at most once per task. Each
+     ready task also keeps its alive PEs sorted by (energy, index) — the
+     key of the reference's [List.sort compare] — so Rule 4 can find the
+     cheapest members of its (shrinking) allowed set by walking a fixed
+     order from the front. *)
   let pendings_cache = Array.make n None in
   let pendings_of i =
     match pendings_cache.(i) with
     | Some pendings -> pendings
     | None ->
-      let pendings = incoming_pendings ctg partial i in
+      let pendings = Comm_sched.sort_pendings (incoming_pendings ctg partial i) in
       pendings_cache.(i) <- Some pendings;
       pendings
   in
-  let energy_cache = Array.make n [||] in
-  let cached_energy i k =
-    if energy_cache.(i) == [||] then energy_cache.(i) <- Array.make n_pes nan;
-    let row = energy_cache.(i) in
-    if Float.is_nan row.(k) then begin
-      Noc_obs.Counters.incr c_energy;
-      row.(k) <- assignment_energy ?degraded platform ctg partial i k
+  let energy_of = Array.make n [||] in
+  let energy_order = Array.make n [||] in
+  let init_energy i =
+    if energy_of.(i) == [||] then begin
+      let row = Array.make n_pes infinity in
+      let order = ref [] in
+      for k = n_pes - 1 downto 0 do
+        if pe_alive k then begin
+          Noc_obs.Counters.incr c_energy;
+          row.(k) <- assignment_energy kernel ctg partial i k;
+          order := (row.(k), k) :: !order
+        end
+      done;
+      energy_of.(i) <- row;
+      energy_order.(i) <- Array.of_list (List.map snd (List.sort compare !order))
+    end
+  in
+  (* Two-stage F(i,k) memo, revalidated by timeline versions.
+
+     F(i,k) factors as [pe_gap(k, max(drt(i,k), release_i))]: the DRT
+     stage reads only the link tables of [i]'s routes towards [k] (see
+     {!Kernel.drt_deps}), the gap stage only PE [k]'s own table. Each
+     stage is a pure function of its tables' busy sets, so a cached
+     value whose recorded versions still match is exactly what a fresh
+     probe would return. The stages invalidate very differently — a
+     commit bumps one PE table (invalidating that column's gap stage
+     across all ready tasks) but only the committed routes' link tables
+     (leaving most DRT values intact) — so the common re-probe costs
+     one binary search, not a communication re-schedule. This, not the
+     dense matrices alone, is where the speedup lives. *)
+  let bd i = budget.budgeted_deadlines.(i) in
+  let excluded = Array.make (n * n_pes) false in
+  let f = Array.make (n * n_pes) infinity in
+  let drt = Array.make (n * n_pes) infinity in
+  let drt_deps : (Timeline.t array * int array) option array =
+    Array.make (n * n_pes) None
+  in
+  let pe_version = Array.make (n * n_pes) (-1) in
+  let drt_valid idx =
+    match drt_deps.(idx) with
+    | None -> false
+    | Some (tables, versions) ->
+      let ok = ref true in
+      Array.iteri
+        (fun j tl -> if Timeline.version tl <> versions.(j) then ok := false)
+        tables;
+      !ok
+  in
+  let valid idx =
+    pe_version.(idx) = Timeline.version (Resource_state.pe_table partial.state (idx mod n_pes))
+    && drt_valid idx
+  in
+  (* Probes neither read nor write any shared mutable state besides the
+     timelines they only query, and distinct (i,k) pairs write distinct
+     slots of the stage arrays, so refreshing the stale set in parallel
+     is race-free and — [f.(idx)] being the same value at every job
+     count — deterministic. *)
+  let refresh idx =
+    let i = idx / n_pes and k = idx mod n_pes in
+    if not (drt_valid idx) then begin
+      let pendings = Option.get pendings_cache.(i) in
+      Noc_obs.Counters.incr c_fik;
+      drt.(idx) <-
+        Kernel.data_ready ?model:comm_model kernel partial.state ~pendings ~pe:k;
+      match drt_deps.(idx) with
+      | Some (tables, versions) ->
+        Array.iteri (fun j tl -> versions.(j) <- Timeline.version tl) tables
+      | None ->
+        let tables =
+          Kernel.drt_deps ?model:comm_model kernel partial.state ~pendings ~pe:k
+        in
+        drt_deps.(idx) <- Some (tables, Array.map Timeline.version tables)
     end;
-    row.(k)
+    let pe_table = Resource_state.pe_table partial.state k in
+    let d = drt.(idx) in
+    f.(idx) <-
+      (if d = infinity then infinity
+       else begin
+         let exec = Kernel.exec_time kernel ~task:i ~pe:k in
+         let ready = Float.max d (Kernel.release kernel i) in
+         let start = Timeline.earliest_gap pe_table ~after:ready ~duration:exec in
+         start +. exec
+       end);
+    pe_version.(idx) <- Timeline.version pe_table;
+    (* F only grows, so exceeding the budgeted deadline is permanent. *)
+    if f.(idx) > bd i then excluded.(idx) <- true
+  in
+  (* Monotone screening. During a run the resource timelines only gain
+     reservations, and every stage of F(i,k) — transaction starts, DRT,
+     the PE gap — is non-decreasing in the busy sets it queries, so
+     F(i,k) never decreases across iterations. Two exact consequences:
+
+     - once a probe returns F(i,k) > BD_i, PE [k] is priced out of [i]'s
+       allowed set {e permanently}: the entry never needs re-probing to
+       decide membership again;
+     - the static contention-free bound
+         max(max_p(sender_finish_p + duration(src_p, k)), release_i) + exec
+       is a lower bound on every future F(i,k) (contention and busy PEs
+       only delay), so a pair whose bound already exceeds BD_i is priced
+       out before its first probe.
+
+     The reference's violator test [min_k F(i,k) > BD_i] becomes "every
+     candidate is priced out" — excluded entries all have F > BD_i by
+     monotonicity, non-excluded ones are exact and <= BD_i. Violators are
+     rare; only they pay for an exact full row (Rule 3 ranks violators by
+     margin and needs the true minimum). One caveat: the decision log
+     records whole F rows, and screening leaves excluded entries stale —
+     so while the log is live we keep refreshing every entry (placements
+     are identical either way; only the probe count differs). *)
+  let screening = not (Noc_obs.Decisions.is_enabled ()) in
+  let row_init = Array.make n false in
+  let init_row i =
+    if not row_init.(i) then begin
+      row_init.(i) <- true;
+      let bdi = bd i in
+      if bdi < infinity then begin
+        let pendings = Option.get pendings_cache.(i) in
+        for k = 0 to n_pes - 1 do
+          if pe_alive k then begin
+            let lb_drt =
+              List.fold_left
+                (fun acc (p : Comm_sched.pending) ->
+                  let src = p.Comm_sched.src_pe in
+                  if src = k then Float.max acc p.Comm_sched.sender_finish
+                  else if not (Kernel.reachable kernel ~src ~dst:k) then infinity
+                  else
+                    Float.max acc
+                      (p.Comm_sched.sender_finish
+                      +. Kernel.comm_duration kernel ~src ~dst:k
+                           ~bits:p.Comm_sched.bits))
+                0. pendings
+            in
+            let lb =
+              Float.max lb_drt (Kernel.release kernel i)
+              +. Kernel.exec_time kernel ~task:i ~pe:k
+            in
+            if lb > bdi then excluded.((i * n_pes) + k) <- true
+          end
+        done
+      end
+    end
+  in
+  (* Rule 4 needs, per ready task, only the identity of the cheapest
+     member of its allowed set and the energy gap to the second
+     cheapest: F values beyond set membership are irrelevant, membership
+     only shrinks (F grows monotonically), and the energies ordering the
+     candidates are static. So each iteration walks the task's energy
+     order from the front and probes just far enough to certify the
+     first two current members — for a typical task two version checks
+     and no probe at all, instead of a whole row of probes. The member
+     subsequence of the walk order is exactly the reference's sorted
+     allowed list, so the (best PE, regret) pair is unchanged bit for
+     bit. An empty walk means every PE is priced out: the task violates
+     for certain, and only then is its exact full row materialised (for
+     Rule 3's margins). Walks of distinct tasks touch disjoint state, so
+     the ready list fans out across the pool unchanged. *)
+  let walk_pe = Array.make n (-1) in
+  let walk_regret = Array.make n nan in
+  let walk i =
+    let base = i * n_pes in
+    let order = energy_order.(i) in
+    let len = Array.length order in
+    let m1 = ref (-1) and m2 = ref (-1) in
+    let j = ref 0 in
+    while !m2 < 0 && !j < len do
+      let k = order.(!j) in
+      let idx = base + k in
+      if not excluded.(idx) then begin
+        if valid idx then Noc_obs.Counters.incr c_fik_reused else refresh idx;
+        if not excluded.(idx) then
+          if !m1 < 0 then m1 := k else m2 := k
+      end;
+      incr j
+    done;
+    walk_pe.(i) <- !m1;
+    walk_regret.(i) <-
+      (if !m1 < 0 then nan
+       else if !m2 < 0 then infinity
+       else energy_of.(i).(!m2) -. energy_of.(i).(!m1))
   in
   let remaining = ref n in
   while !remaining > 0 do
     let rtl = !ready in
     assert (rtl <> []);
-    (* F(i,k) for every ready task and PE. *)
-    let finishes =
-      List.map
+    (* Pending lists, energy orders and screening bounds are
+       materialised on the main domain first, so the (possibly
+       parallel) walks below only read the per-task caches. *)
+    List.iter
+      (fun i ->
+        ignore (pendings_of i);
+        init_energy i;
+        init_row i)
+      rtl;
+    if not screening then
+      (* The decision log records whole F rows: keep every entry of
+         every ready row exact while the log is live. *)
+      List.iter
         (fun i ->
-          let pendings = pendings_of i in
-          ( i,
-            Array.init n_pes (fun k ->
-                if pe_alive k then
-                  finish_time ?comm_model ?degraded ~pendings ctg partial i k
-                else infinity) ))
-        rtl
-    in
-    let bd i = budget.budgeted_deadlines.(i) in
+          for k = 0 to n_pes - 1 do
+            let idx = (i * n_pes) + k in
+            if pe_alive k && not (valid idx) then refresh idx
+          done)
+        rtl;
+    let rta = Array.of_list rtl in
+    let n_ready = Array.length rta in
+    if jobs <= 1 || n_ready < 2 then Array.iter walk rta
+    else
+      ignore
+        (Noc_util.Pool.map_range ~jobs ~chunk:4 ~n:n_ready (fun w ->
+             walk rta.(w)));
     let violators =
       List.filter_map
-        (fun (i, fs) ->
-          let min_f = Noc_util.Stats.min_value fs in
-          if min_f > bd i then Some (i, fs, min_f -. bd i) else None)
-        finishes
+        (fun i ->
+          if walk_pe.(i) >= 0 then None
+          else begin
+            let base = i * n_pes in
+            (* Every PE is priced out, so [i] violates for sure; Rule 3
+               ranks violators by margin and sends the worst to its
+               fastest PE, so this (rare) row must be exact. *)
+            for k = 0 to n_pes - 1 do
+              if pe_alive k && not (valid (base + k)) then refresh (base + k)
+            done;
+            let m = ref f.(base) in
+            for k = 1 to n_pes - 1 do
+              m := Float.min !m f.(base + k)
+            done;
+            Some (i, !m -. bd i)
+          end)
+        rtl
     in
     let chosen_task, chosen_pe, chosen_rule =
       match violators with
       | _ :: _ ->
         (* Rule 3: the worst violator goes to its fastest PE. *)
-        let i, fs, _ =
+        let i, _ =
           List.fold_left
-            (fun (bi, bfs, bover) (i, fs, over) ->
-              if over > bover then (i, fs, over) else (bi, bfs, bover))
+            (fun (bi, bover) (i, over) ->
+              if over > bover then (i, over) else (bi, bover))
             (List.hd violators) (List.tl violators)
         in
-        let k = Noc_util.Stats.argmin fs in
-        if fs.(k) = infinity then
+        let k = Noc_util.Stats.argmin (Array.sub f (i * n_pes) n_pes) in
+        if f.((i * n_pes) + k) = infinity then
           invalid_arg "Level_sched.run: task unschedulable on the degraded platform";
         (i, k, "deadline")
       | [] ->
         (* Rule 4: largest energy regret among deadline-respecting PEs. *)
-        let candidates =
-          List.map
-            (fun (i, fs) ->
-              let allowed =
-                List.filter
-                  (fun k -> pe_alive k && fs.(k) <= bd i)
-                  (List.init n_pes Fun.id)
-              in
-              assert (allowed <> []);
-              let energies = List.map (fun k -> (cached_energy i k, k)) allowed in
-              let sorted = List.sort compare energies in
-              let best_energy, best_pe = List.hd sorted in
-              let delta =
-                match sorted with
-                | _ :: (second_energy, _) :: _ -> second_energy -. best_energy
-                | [ _ ] -> infinity
-                | [] -> assert false
-              in
-              (i, best_pe, delta))
-            finishes
-        in
         let i, k, _ =
           List.fold_left
-            (fun (bi, bk, bdelta) (i, k, delta) ->
-              if delta > bdelta then (i, k, delta) else (bi, bk, bdelta))
-            (List.hd candidates) (List.tl candidates)
+            (fun (bi, bk, bdelta) i ->
+              let delta = walk_regret.(i) in
+              if bk < 0 || delta > bdelta then (i, walk_pe.(i), delta)
+              else (bi, bk, bdelta))
+            (-1, -1, nan) rtl
         in
         (i, k, "regret")
     in
     if Noc_obs.Decisions.is_enabled () then
       Noc_obs.Decisions.record ~task:chosen_task ~rule:chosen_rule ~chosen:chosen_pe
         ~budgeted_deadline:(bd chosen_task)
-        ~finishes:(List.assoc chosen_task finishes);
+        ~finishes:(Array.sub f (chosen_task * n_pes) n_pes);
     commit ?comm_model ?degraded ctg partial chosen_task chosen_pe;
     decr remaining;
     ready := List.filter (fun i -> i <> chosen_task) !ready;

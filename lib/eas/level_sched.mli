@@ -1,4 +1,4 @@
-(** EAS Step 2: level-based scheduling.
+(** EAS Step 2: level-based scheduling over the flat-array kernel.
 
     Repeatedly forms the Ready Tasks List (tasks whose predecessors are
     all scheduled), computes for every ready task [t_i] and every PE
@@ -16,12 +16,20 @@
       on its cheapest deadline-respecting PE. A task whose list has a
       single PE has infinite regret and is scheduled first.
 
-    All tentative reservations are rolled back before the next
-    evaluation, so the iteration order cannot influence [F(i,k)]. *)
+    Unlike {!Level_sched_reference} — the original reserve-then-rollback
+    implementation, kept as the differential oracle — the probes here
+    are read-only {!Kernel.finish_time} evaluations whose results are
+    memoized and revalidated against the {!Noc_util.Timeline.version}s
+    of the tables each probe consulted, so each commit only re-probes
+    the (i,k) pairs it actually invalidated. Both paths produce
+    bit-identical schedules and decision logs; [test_kernel_diff]
+    enforces this. *)
 
 val run :
   ?comm_model:Noc_sched.Comm_sched.model ->
   ?degraded:Noc_noc.Degraded.t ->
+  ?kernel:Kernel.t ->
+  ?jobs:int ->
   Noc_noc.Platform.t ->
   Noc_ctg.Ctg.t ->
   Budget.t ->
@@ -31,4 +39,10 @@ val run :
     receive no tasks and transactions detour around failed links; raises
     [Invalid_argument] when the fault set makes the graph unschedulable
     (every PE failed, or a task unreachable from its predecessors on
-    every alive PE). *)
+    every alive PE). [kernel] (built on demand otherwise) must describe
+    the same platform/graph/fault-set triple. [jobs] (default 1)
+    fans the stale-probe refresh of each iteration out over a
+    {!Noc_util.Pool}; the probes are read-only and land in disjoint
+    slots, so every job count yields bit-identical placements — the
+    selection rules always reduce over the full F matrix in index
+    order. Keep the default inside already-parallel campaign workers. *)

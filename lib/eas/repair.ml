@@ -74,29 +74,23 @@ let c_rebuilds = Noc_obs.Counters.counter "eas.repair.rebuilds"
 let c_accepted_swaps = Noc_obs.Counters.counter "eas.repair.accepted_swaps"
 let c_accepted_migrations = Noc_obs.Counters.counter "eas.repair.accepted_migrations"
 
-let move_energy_arcs ?degraded platform ctg ~assignment ~ins ~outs i k =
+let move_energy_arcs kernel ~assignment ~ins ~outs i k =
   Noc_obs.Counters.incr c_moves_priced;
-  let task = Noc_ctg.Ctg.task ctg i in
-  let comm_energy ~src ~dst ~bits =
-    match degraded with
-    | Some view when not (Noc_noc.Degraded.is_trivial view) -> (
-      try Noc_noc.Degraded.comm_energy view ~src ~dst ~bits
-      with Invalid_argument _ -> infinity)
-    | Some _ | None -> Noc_noc.Platform.comm_energy platform ~src ~dst ~bits
-  in
   let incident_comm =
     List.fold_left
-      (fun acc (src_task, bits) -> acc +. comm_energy ~src:assignment.(src_task) ~dst:k ~bits)
+      (fun acc (src_task, bits) ->
+        acc +. Kernel.comm_energy_inf kernel ~src:assignment.(src_task) ~dst:k ~bits)
       0. ins
     +. List.fold_left
-         (fun acc (dst_task, bits) -> acc +. comm_energy ~src:k ~dst:assignment.(dst_task) ~bits)
+         (fun acc (dst_task, bits) ->
+           acc +. Kernel.comm_energy_inf kernel ~src:k ~dst:assignment.(dst_task) ~bits)
          0. outs
   in
-  task.Noc_ctg.Task.energies.(k) +. incident_comm
+  Kernel.exec_energy kernel ~task:i ~pe:k +. incident_comm
 
-let move_energy ?degraded platform ctg ~assignment i k =
+let move_energy kernel ctg ~assignment i k =
   let ins, outs = incident_arcs_of ctg i in
-  move_energy_arcs ?degraded platform ctg ~assignment ~ins ~outs i k
+  move_energy_arcs kernel ~assignment ~ins ~outs i k
 
 (* Critical tasks in decreasing urgency: the later past its own deadline
    (or its tightest descendant deadline), the earlier it is tried. *)
@@ -109,10 +103,13 @@ let ordered_critical ctg schedule critical =
          let c = Float.compare (finish b) (finish a) in
          if c <> 0 then c else compare a b)
 
-let run ?comm_model ?degraded ?(max_evaluations = 4_000) ?(moves = Both) platform ctg
-    schedule =
+let run ?comm_model ?degraded ?kernel ?(max_evaluations = 4_000) ?(moves = Both)
+    platform ctg schedule =
   let n = Noc_ctg.Ctg.n_tasks ctg in
   let n_pes = Noc_noc.Platform.n_pes platform in
+  let kernel =
+    match kernel with Some k -> k | None -> Kernel.build ?degraded platform ctg
+  in
   let incident_cache = Array.make n None in
   let incident_arcs i =
     match incident_cache.(i) with
@@ -204,7 +201,7 @@ let run ?comm_model ?degraded ?(max_evaluations = 4_000) ?(moves = Both) platfor
         List.init n_pes Fun.id
         |> List.filter (fun k -> k <> home && pe_alive k)
         |> List.map (fun k ->
-               (move_energy_arcs ?degraded platform ctg ~assignment ~ins ~outs t1 k, k))
+               (move_energy_arcs kernel ~assignment ~ins ~outs t1 k, k))
         |> List.sort compare
         |> List.map snd
       in

@@ -34,23 +34,19 @@ val critical_tasks : Noc_ctg.Ctg.t -> Noc_sched.Schedule.t -> bool array
     and every ancestor of such a task. *)
 
 val move_energy :
-  ?degraded:Noc_noc.Degraded.t ->
-  Noc_noc.Platform.t ->
-  Noc_ctg.Ctg.t ->
-  assignment:int array ->
-  int ->
-  int ->
-  float
-(** [move_energy platform ctg ~assignment i k] estimates the energy of
+  Kernel.t -> Noc_ctg.Ctg.t -> assignment:int array -> int -> int -> float
+(** [move_energy kernel ctg ~assignment i k] estimates the energy of
     running task [i] on PE [k]: computation on [k] plus communication of
-    every incident arc whose other endpoint is fixed by [assignment].
-    With [degraded], detours are priced by their real length and a
-    disconnected pair costs [infinity]. Orders GTM destinations and
+    every incident arc whose other endpoint is fixed by [assignment],
+    priced from the kernel matrices. On a kernel built over a degraded
+    view, detours are priced by their real length and a disconnected
+    pair costs [infinity]. Orders GTM destinations and
     {!Fault_resched}'s migrations. *)
 
 val run :
   ?comm_model:Noc_sched.Comm_sched.model ->
   ?degraded:Noc_noc.Degraded.t ->
+  ?kernel:Kernel.t ->
   ?max_evaluations:int ->
   ?moves:moves ->
   Noc_noc.Platform.t ->
@@ -63,4 +59,5 @@ val run :
     set for the repair ablation. With [degraded], GTM only migrates onto
     alive PEs, rebuilds detour around failed links, and move energies
     are priced over the degraded routes — the engine behind
-    {!Fault_resched}. *)
+    {!Fault_resched}. [kernel] (built on demand otherwise) must describe
+    the same platform/graph/fault-set triple. *)

@@ -25,6 +25,7 @@ val traced : label:string -> (unit -> 'a) -> 'a
 
 val evaluate :
   ?comm_model:Noc_sched.Comm_sched.model ->
+  ?jobs:int ->
   algo ->
   Noc_noc.Platform.t ->
   Noc_ctg.Ctg.t ->
@@ -32,10 +33,14 @@ val evaluate :
 
 val schedule_of :
   ?comm_model:Noc_sched.Comm_sched.model ->
+  ?jobs:int ->
   algo ->
   Noc_noc.Platform.t ->
   Noc_ctg.Ctg.t ->
   Noc_sched.Schedule.t
+(** [jobs] parallelises the EAS candidate walks on {!Noc_util.Pool}
+    (default 1; EDF ignores it). Schedules are bit-identical at every
+    job count. *)
 
 val savings : baseline:float -> float -> float
 (** [savings ~baseline v] is [(baseline - v) / baseline]; the paper's

@@ -56,14 +56,15 @@ let place ?(model = Contention_aware) ?degraded state pending ~dst_pe =
     }
   end
 
+let sort_pendings lct =
+  List.sort
+    (fun a b ->
+      let c = Float.compare a.sender_finish b.sender_finish in
+      if c <> 0 then c else compare a.edge b.edge)
+    lct
+
 let schedule_incoming ?(model = Contention_aware) ?degraded state lct ~dst_pe =
-  let sorted =
-    List.sort
-      (fun a b ->
-        let c = Float.compare a.sender_finish b.sender_finish in
-        if c <> 0 then c else compare a.edge b.edge)
-      lct
-  in
+  let sorted = sort_pendings lct in
   let placed = List.map (fun p -> place ~model ?degraded state p ~dst_pe) sorted in
   let drt =
     List.fold_left (fun acc tr -> Float.max acc tr.Schedule.finish) 0. placed

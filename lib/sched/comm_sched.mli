@@ -39,6 +39,11 @@ val place :
     around failed links; raises [Invalid_argument] when the fault set
     disconnects the pair. *)
 
+val sort_pendings : pending list -> pending list
+(** The Fig. 3 evaluation order: sender finish time, ties by edge id.
+    {!schedule_incoming} sorts with this; the EAS kernel pre-sorts each
+    task's pending list once so its probes can skip the re-sort. *)
+
 val schedule_incoming :
   ?model:model ->
   ?degraded:Noc_noc.Degraded.t ->

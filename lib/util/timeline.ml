@@ -9,11 +9,14 @@ type t = {
   mutable starts : float array;
   mutable stops : float array;
   mutable len : int;
+  mutable version : int;
 }
 
 type snapshot = { snap_starts : float array; snap_stops : float array; snap_len : int }
 
-let create () = { starts = [||]; stops = [||]; len = 0 }
+let create () = { starts = [||]; stops = [||]; len = 0; version = 0 }
+
+let version t = t.version
 
 let busy t =
   List.init t.len (fun i -> Interval.make ~start:t.starts.(i) ~stop:t.stops.(i))
@@ -79,7 +82,8 @@ let reserve t (iv : Interval.t) =
     end;
     t.starts.(i) <- iv.Interval.start;
     t.stops.(i) <- iv.Interval.stop;
-    t.len <- t.len + 1
+    t.len <- t.len + 1;
+    t.version <- t.version + 1
   end
 
 let release t (iv : Interval.t) =
@@ -89,7 +93,8 @@ let release t (iv : Interval.t) =
     then begin
       Array.blit t.starts (i + 1) t.starts i (t.len - i - 1);
       Array.blit t.stops (i + 1) t.stops i (t.len - i - 1);
-      t.len <- t.len - 1
+      t.len <- t.len - 1;
+      t.version <- t.version + 1
     end
     else
       invalid_arg
@@ -120,7 +125,8 @@ let restore t snap =
   ensure_capacity t snap.snap_len;
   Array.blit snap.snap_starts 0 t.starts 0 snap.snap_len;
   Array.blit snap.snap_stops 0 t.stops 0 snap.snap_len;
-  t.len <- snap.snap_len
+  t.len <- snap.snap_len;
+  t.version <- t.version + 1
 
 let merged_busy tls ~after =
   let total =

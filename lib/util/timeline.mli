@@ -53,6 +53,14 @@ val span : t -> float
 val snapshot : t -> snapshot
 val restore : t -> snapshot -> unit
 
+val version : t -> int
+(** Mutation counter: incremented by every state-changing {!reserve},
+    {!release} and {!restore} (no-ops on empty intervals do not count).
+    Two reads of an unchanged version bracket an unchanged busy set, so
+    callers can memoize query results against a timeline and revalidate
+    with one integer comparison — the EAS flat-array kernel keys its
+    F(i,k) cache on the versions of the tables each probe consulted. *)
+
 val merged_busy : t list -> after:float -> Interval.t list
 (** [merged_busy tls ~after] coalesces the busy intervals of all timelines
     whose [stop] exceeds [after] into a sorted, non-overlapping list. This

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-parallel bench-obs trace-smoke quick-bench analyze verify examples doc clean
+.PHONY: all build test bench bench-json bench-parallel bench-obs bench-serve serve-smoke trace-smoke quick-bench analyze verify examples doc clean
 
 all: build
 
@@ -44,6 +44,34 @@ bench-parallel:
 bench-obs:
 	dune exec bench/main.exe -- obs
 
+# Scheduling-service gate: in-process handler latency on cache hits
+# must be >= 10x below the cold p99, the incremental reschedule must be
+# >= 2x faster than a full EAS rerun, and requests/sec is measured
+# through a real Unix-socket daemon. Writes BENCH_serve.json (committed).
+bench-serve:
+	dune exec bench/main.exe -- serve
+
+# End-to-end daemon smoke: start `nocsched serve` on a private socket,
+# run a schedule and an incremental reschedule through the client, ask
+# for a clean shutdown, and require every reply to be ok. The built
+# binary is used directly (dune exec would contend for the build lock
+# with the backgrounded daemon), and the client retries the connect
+# 50 ms apart, so no sleep is needed after the daemon starts.
+serve-smoke: build
+	@set -e; \
+	SOCK=/tmp/nocsched-serve-smoke-$$$$.sock; \
+	BIN=_build/default/bin/nocsched.exe; \
+	rm -f $$SOCK; \
+	$$BIN serve --socket $$SOCK & \
+	DAEMON=$$!; \
+	trap 'kill $$DAEMON 2>/dev/null || true' EXIT; \
+	$$BIN serve --socket $$SOCK --call schedule --input examples/pipeline_4x4.ctg; \
+	$$BIN serve --socket $$SOCK --call reschedule \
+	  --input examples/pipeline_4x4.ctg --fault pe:1; \
+	$$BIN serve --socket $$SOCK --call shutdown; \
+	wait $$DAEMON; \
+	echo "serve-smoke: ok"
+
 # End-to-end trace smoke: schedule the example CTG with tracing, the
 # decision log and the stats report all on, then validate the exported
 # Chrome trace against the nocsched/trace/v1 schema (counters required).
@@ -67,11 +95,12 @@ analyze: build
 	dune exec bin/nocsched.exe -- analyze --platform --mesh 8x8 || [ $$? -eq 1 ]
 
 # The full gate CI runs: build, the complete test suite, the static
-# analysis sweep, the trace smoke, then the persisted bench gates
-# (timeline regression, parallel-execution determinism/speedup, the
-# observability overhead/determinism gate, and the fault-campaign
-# survivability table written to BENCH_faults.json).
-verify: build test analyze trace-smoke bench-json bench-parallel bench-obs
+# analysis sweep, the trace and daemon smokes, then the persisted bench
+# gates (timeline regression, parallel-execution determinism/speedup,
+# the observability overhead/determinism gate, the scheduling-service
+# latency gate, and the fault-campaign survivability table written to
+# BENCH_faults.json).
+verify: build test analyze trace-smoke serve-smoke bench-json bench-parallel bench-obs bench-serve
 	dune exec bench/main.exe -- faults
 
 examples:

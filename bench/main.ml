@@ -658,6 +658,236 @@ module Obs_bench = struct
     end
 end
 
+(* ------------------------------------------------------------------ *)
+(* Scheduling-service bench gate (serve): drives a real daemon over its
+   Unix socket and persists BENCH_serve.json.
+
+   Three measurements, two gates:
+   - Handler latency ([Server.handle_line], the figure the daemon's
+     serve/<op> histograms record), cold (every request a cache miss:
+     full EAS + certification) vs warm (every request a certified cache
+     hit). Timed in-process so the single-core scheduling jitter of
+     running client and daemon domains side by side does not pollute
+     the tail. Gate: warm p99 at least [warm_speedup_threshold]x below
+     cold p99 — the cache must make repeat requests essentially free.
+   - Sustained warm requests/sec through a real daemon over its Unix
+     socket (informational: it is dominated by the round trip, not by
+     scheduling).
+   - Incremental rescheduling: the Fault_resched migrate-rebuild-repair
+     ladder the daemon runs for [reschedule] requests vs a full EAS
+     re-run on the same degraded platform, timed in-process so both
+     sides pay identical instrumentation. Gate: ladder median at least
+     [resched_speedup_threshold]x faster. *)
+
+module Serve_bench = struct
+  let warm_speedup_threshold = 10.
+  let resched_speedup_threshold = 2.
+  let n_graphs = 8
+  let n_tasks = 60
+  let warm_rounds = 50
+  let fault_spec = "pe:5"
+
+  let percentile samples ~p =
+    Noc_util.Stats.percentile (Array.of_list samples) ~p
+
+  let assert_ok reply =
+    match Noc_obs.Json.parse reply with
+    | Ok obj when Noc_obs.Json.member "ok" obj = Some (Noc_obs.Json.Bool true) ->
+      obj
+    | Ok _ | Error _ ->
+      Printf.eprintf "serve bench: daemon refused a request: %s\n" reply;
+      exit 1
+
+  let int_member name obj =
+    match Noc_obs.Json.member name obj with
+    | Some (Noc_obs.Json.Number n) -> int_of_float n
+    | Some _ | None -> -1
+
+  let run file =
+    let oc =
+      try open_out file
+      with Sys_error msg ->
+        Printf.eprintf "cannot write bench output: %s\n" msg;
+        exit 1
+    in
+    let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols:4 ~rows:4 () in
+    Noc_noc.Platform.warm_routes platform;
+    let params = { Noc_tgff.Params.default with n_tasks } in
+    let graphs =
+      List.init n_graphs (fun i ->
+          Noc_tgff.Generate.generate ~params ~platform ~seed:(3_000 + i))
+    in
+    let lines =
+      List.map
+        (fun ctg ->
+          Noc_serve.Protocol.(
+            request_to_line
+              (Schedule
+                 {
+                   ctg_text = Noc_ctg.Ctg_io.to_string ctg;
+                   mesh = (4, 4);
+                   algo = Noc_experiments.Runner.Eas;
+                   decisions = false;
+                 })))
+        graphs
+    in
+    (* Handler latency, in-process: one server state, cold pass fills
+       the cache, warm passes hit it. *)
+    let state =
+      Noc_serve.Server.make_state
+        (Noc_serve.Server.default_config ~socket_path:"unused")
+    in
+    let timed line =
+      let t0 = Unix.gettimeofday () in
+      let reply, _ = Noc_serve.Server.handle_line state line in
+      ignore (assert_ok reply);
+      (Unix.gettimeofday () -. t0) *. 1000.
+    in
+    let cold = List.map timed lines in
+    let warm =
+      List.concat (List.init warm_rounds (fun _ -> List.map timed lines))
+    in
+    (* Wire throughput: the same warm workload through a real daemon
+       over its Unix socket. *)
+    let socket_path =
+      Printf.sprintf "%s/nocsched-bench-serve-%d.sock"
+        (Filename.get_temp_dir_name ()) (Unix.getpid ())
+    in
+    let ready = Atomic.make false in
+    let daemon =
+      Domain.spawn (fun () ->
+          Noc_serve.Server.run
+            ~on_ready:(fun () -> Atomic.set ready true)
+            { Noc_serve.Server.socket_path; capacity = 64; jobs = None })
+    in
+    while not (Atomic.get ready) do
+      Unix.sleepf 0.002
+    done;
+    let wire_requests, wire_wall, stats_reply =
+      Noc_serve.Client.with_connection ~socket_path (fun client ->
+          let send line = ignore (assert_ok (Noc_serve.Client.request client line)) in
+          List.iter send lines;
+          let t0 = Unix.gettimeofday () in
+          let n = ref 0 in
+          for _ = 1 to warm_rounds do
+            List.iter send lines;
+            n := !n + List.length lines
+          done;
+          let wire_wall = Unix.gettimeofday () -. t0 in
+          let stats_reply =
+            assert_ok
+              (Noc_serve.Client.request client
+                 Noc_serve.Protocol.(request_to_line Stats))
+          in
+          ignore
+            (assert_ok
+               (Noc_serve.Client.request client
+                  Noc_serve.Protocol.(request_to_line Shutdown)));
+          (!n, wire_wall, stats_reply))
+    in
+    Domain.join daemon;
+    let cache_stats =
+      match Noc_obs.Json.member "cache" stats_reply with
+      | Some obj ->
+        (int_member "hits" obj, int_member "misses" obj, int_member "evictions" obj)
+      | None -> (-1, -1, -1)
+    in
+    let cold_p50 = percentile cold ~p:50. and cold_p99 = percentile cold ~p:99. in
+    let warm_p50 = percentile warm ~p:50. and warm_p99 = percentile warm ~p:99. in
+    let warm_speedup = cold_p99 /. warm_p99 in
+    let requests_per_sec = float_of_int wire_requests /. wire_wall in
+    (* Incremental reschedule vs full degraded re-run, in-process. *)
+    let faults =
+      match Noc_fault.Fault_set.of_strings [ fault_spec ] with
+      | Ok f -> f
+      | Error msg ->
+        Printf.eprintf "serve bench: bad fault spec: %s\n" msg;
+        exit 1
+    in
+    let degraded = Noc_fault.Fault_set.degraded faults platform in
+    let full_reruns = ref 0 in
+    let resched_rows =
+      List.map
+        (fun ctg ->
+          let base = (Noc_eas.Eas.schedule platform ctg).Noc_eas.Eas.schedule in
+          let outcome = Noc_eas.Fault_resched.run platform ctg ~faults base in
+          if outcome.Noc_eas.Fault_resched.stats.Noc_eas.Fault_resched.used_full_rerun
+          then incr full_reruns;
+          let incremental_s =
+            Json_bench.median_of ~repeats:3 (fun () ->
+                ignore (Noc_eas.Fault_resched.run platform ctg ~faults base))
+          in
+          let full_s =
+            Json_bench.median_of ~repeats:3 (fun () ->
+                ignore (Noc_eas.Eas.schedule ~degraded platform ctg))
+          in
+          (incremental_s, full_s))
+        graphs
+    in
+    let incremental_median =
+      Json_bench.median (List.map fst resched_rows) *. 1000.
+    in
+    let full_median = Json_bench.median (List.map snd resched_rows) *. 1000. in
+    let resched_speedup = full_median /. incremental_median in
+    let hits, misses, evictions = cache_stats in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"schema\": \"nocsched/bench-serve/v1\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"workload\": \"tgff %d-task x%d on 4x4 mesh, eas, unix socket\",\n"
+         n_tasks n_graphs);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"requests_per_sec\": %.0f,\n" requests_per_sec);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"cold_p50_ms\": %.3f,\n  \"cold_p99_ms\": %.3f,\n"
+         cold_p50 cold_p99);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"warm_p50_ms\": %.3f,\n  \"warm_p99_ms\": %.3f,\n"
+         warm_p50 warm_p99);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"warm_speedup_p99\": %.1f,\n" warm_speedup);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"warm_speedup_threshold\": %.1f,\n"
+         warm_speedup_threshold);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"cache\": {\"hits\": %d, \"misses\": %d, \"evictions\": %d},\n" hits
+         misses evictions);
+    Buffer.add_string buf (Printf.sprintf "  \"fault\": %S,\n" fault_spec);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"resched_incremental_median_ms\": %.3f,\n"
+         incremental_median);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"resched_full_rerun_median_ms\": %.3f,\n" full_median);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"resched_speedup\": %.2f,\n" resched_speedup);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"resched_speedup_threshold\": %.1f,\n"
+         resched_speedup_threshold);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"resched_ladder_full_reruns\": %d\n" !full_reruns);
+    Buffer.add_string buf "}\n";
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_string (Buffer.contents buf);
+    Printf.printf "wrote %s\n" file;
+    if warm_speedup < warm_speedup_threshold then begin
+      Printf.eprintf
+        "bench gate FAILED: warm cache-hit p99 %.3f ms is only %.1fx below the \
+         cold-schedule p99 %.3f ms (need >= %.1fx)\n"
+        warm_p99 warm_speedup cold_p99 warm_speedup_threshold;
+      exit 1
+    end;
+    if resched_speedup < resched_speedup_threshold then begin
+      Printf.eprintf
+        "bench gate FAILED: incremental reschedule median %.3f ms is only %.2fx \
+         faster than the %.3f ms full re-run (need >= %.1fx)\n"
+        incremental_median resched_speedup full_median resched_speedup_threshold;
+      exit 1
+    end
+end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (match args with
@@ -674,7 +904,7 @@ let () =
     [
       "fig5"; "fig6"; "tab1"; "tab2"; "tab3"; "fig7"; "split"; "ablation"; "topo";
       "weights"; "repairmoves"; "dvs"; "baselines"; "buffering"; "faults";
-      "parallel"; "obs";
+      "parallel"; "obs"; "serve";
     ]
   in
   let wanted = if wanted = [] then all else wanted in
@@ -703,6 +933,9 @@ let () =
       | "obs" ->
         section "Observability: disabled-overhead and determinism gate";
         Obs_bench.run "BENCH_obs.json"
+      | "serve" ->
+        section "Scheduling service: cache-hit latency and reschedule gate";
+        Serve_bench.run "BENCH_serve.json"
       | "micro" -> micro ()
       | other ->
         Printf.eprintf "unknown experiment %S (known: %s micro)\n" other

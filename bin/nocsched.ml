@@ -104,6 +104,27 @@ let algo_arg =
   Arg.(value & opt algo_conv Noc_experiments.Runner.Eas
        & info [ "algo" ] ~docv:"ALGO" ~doc:"Scheduler: eas, eas-base or edf.")
 
+(* CTG inputs accept "-" for stdin everywhere a path is taken, so
+   graphs can be piped: `nocsched generate ... | nocsched schedule -`. *)
+let read_ctg_text path =
+  if path = "-" then In_channel.input_all In_channel.stdin
+  else
+    try In_channel.with_open_bin path In_channel.input_all
+    with Sys_error msg -> failwith msg
+
+let load_ctg path =
+  let label = if path = "-" then "stdin" else path in
+  match Noc_ctg.Ctg_io.of_string (read_ctg_text path) with
+  | Error msg -> failwith (label ^ ": " ^ msg)
+  | Ok ctg -> ctg
+
+let platform_for_ctg ~mesh ctg =
+  let cols, rows = mesh in
+  let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows () in
+  if Noc_ctg.Ctg.n_pes ctg <> Noc_noc.Platform.n_pes platform then
+    failwith "graph PE count does not match --mesh";
+  platform
+
 let platform_and_ctg spec ~mesh ~tasks ~tightness =
   match spec with
   | Tgff seed ->
@@ -218,7 +239,9 @@ let generate_cmd =
   let output_arg =
     Arg.(value & opt (some string) None
          & info [ "output"; "o" ] ~docv:"FILE"
-             ~doc:"Write the graph in the library's text format.")
+             ~doc:"Write the graph in the library's text format ($(b,-) writes \
+                   stdout, suppressing the summary, so graphs pipe into \
+                   $(b,schedule -)).")
   in
   let run seed tasks tightness mesh dot output =
     let cols, rows = mesh in
@@ -227,19 +250,22 @@ let generate_cmd =
       { Noc_tgff.Params.default with n_tasks = tasks; deadline_tightness = tightness }
     in
     let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
-    Option.iter (fun path -> Noc_ctg.Ctg_io.save ~path ctg) output;
-    if dot then Format.printf "%a" Noc_ctg.Ctg.pp_dot ctg
+    if output = Some "-" then print_string (Noc_ctg.Ctg_io.to_string ctg)
     else begin
-      Format.printf "%a@." Noc_ctg.Ctg.pp ctg;
-      Format.printf "sources: %d, sinks: %d, deadline tasks: %d@."
-        (List.length (Noc_ctg.Ctg.sources ctg))
-        (List.length (Noc_ctg.Ctg.sinks ctg))
-        (List.length (Noc_ctg.Ctg.deadline_tasks ctg));
-      Format.printf "fastest critical path: %.1f, balanced load bound: %.1f@."
-        (Noc_ctg.Ctg.min_critical_path ctg)
-        (Noc_ctg.Ctg.min_load_bound ctg);
-      Format.printf "total communication volume: %.0f bits@."
-        (Noc_ctg.Ctg.total_volume ctg)
+      Option.iter (fun path -> Noc_ctg.Ctg_io.save ~path ctg) output;
+      if dot then Format.printf "%a" Noc_ctg.Ctg.pp_dot ctg
+      else begin
+        Format.printf "%a@." Noc_ctg.Ctg.pp ctg;
+        Format.printf "sources: %d, sinks: %d, deadline tasks: %d@."
+          (List.length (Noc_ctg.Ctg.sources ctg))
+          (List.length (Noc_ctg.Ctg.sinks ctg))
+          (List.length (Noc_ctg.Ctg.deadline_tasks ctg));
+        Format.printf "fastest critical path: %.1f, balanced load bound: %.1f@."
+          (Noc_ctg.Ctg.min_critical_path ctg)
+          (Noc_ctg.Ctg.min_load_bound ctg);
+        Format.printf "total communication volume: %.0f bits@."
+          (Noc_ctg.Ctg.total_volume ctg)
+      end
     end;
     Ok ()
   in
@@ -259,7 +285,9 @@ let schedule_cmd =
   let input_arg =
     Arg.(value & opt (some string) None
          & info [ "input"; "i" ] ~docv:"FILE"
-             ~doc:"Schedule a graph loaded from FILE (text format) instead of a                    built-in benchmark; the platform still comes from $(b,--mesh).")
+             ~doc:"Schedule a graph loaded from FILE (text format; $(b,-) reads \
+                   stdin) instead of a built-in benchmark; the platform still \
+                   comes from $(b,--mesh).")
   in
   let save_arg =
     Arg.(value & opt (some string) None
@@ -277,8 +305,8 @@ let schedule_cmd =
   let file_arg =
     Arg.(value & pos 0 (some string) None
          & info [] ~docv:"FILE"
-             ~doc:"Task-graph file to schedule (text format); shorthand for \
-                   $(b,--input) FILE.")
+             ~doc:"Task-graph file to schedule (text format; $(b,-) reads stdin); \
+                   shorthand for $(b,--input) FILE.")
   in
   let jobs_arg =
     Arg.(value & opt (some int) None
@@ -296,27 +324,33 @@ let schedule_cmd =
     let platform, ctg =
       match input with
       | None -> platform_and_ctg spec ~mesh ~tasks ~tightness
-      | Some path -> (
-        match Noc_ctg.Ctg_io.load ~path with
-        | Error msg -> failwith (path ^ ": " ^ msg)
-        | Ok ctg ->
-          let cols, rows = mesh in
-          let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows () in
-          if Noc_ctg.Ctg.n_pes ctg <> Noc_noc.Platform.n_pes platform then
-            failwith "graph PE count does not match --mesh";
-          (platform, ctg))
+      | Some path ->
+        let ctg = load_ctg path in
+        (platform_for_ctg ~mesh ctg, ctg)
     in
-    let evaluation = Noc_experiments.Runner.evaluate algo platform ctg in
+    (* One scheduler run serves metrics, outputs and the decision log
+       alike — a second run would duplicate every --decisions record
+       and double the command's wall time. *)
+    let t0 = Noc_util.Clock.wall_s () in
+    let schedule = Noc_experiments.Runner.schedule_of ?jobs algo platform ctg in
+    let runtime_seconds = Noc_util.Clock.wall_s () -. t0 in
+    let metrics = Noc_sched.Metrics.compute platform ctg schedule in
     Format.printf "%s on %a / %a@."
       (Noc_experiments.Runner.algo_name algo)
       Noc_noc.Platform.pp platform Noc_ctg.Ctg.pp ctg;
-    Format.printf "%a@." Noc_sched.Metrics.pp evaluation.Noc_experiments.Runner.metrics;
-    Noc_obs.Log.infof "scheduler runtime: %.3f s"
-      evaluation.Noc_experiments.Runner.runtime_seconds;
-    if evaluation.Noc_experiments.Runner.resource_violations > 0 then
-      Noc_obs.Log.warnf "%d resource violations"
-        evaluation.Noc_experiments.Runner.resource_violations;
-    let schedule = Noc_experiments.Runner.schedule_of ?jobs algo platform ctg in
+    Format.printf "%a@." Noc_sched.Metrics.pp metrics;
+    Noc_obs.Log.infof "scheduler runtime: %.3f s" runtime_seconds;
+    let resource_violations =
+      Noc_sched.Validate.check platform ctg schedule
+      |> List.filter (function
+           | Noc_sched.Validate.Deadline_miss _ -> false
+           | Noc_sched.Validate.Malformed _ | Noc_sched.Validate.Task_overlap _
+           | Noc_sched.Validate.Link_conflict _ | Noc_sched.Validate.Dependency _
+             -> true)
+      |> List.length
+    in
+    if resource_violations > 0 then
+      Noc_obs.Log.warnf "%d resource violations" resource_violations;
     Option.iter
       (fun path ->
         Noc_sched.Schedule_io.save ~path schedule;
@@ -333,9 +367,8 @@ let schedule_cmd =
     if gantt then print_string (Noc_sched.Gantt.render platform ctg schedule);
     report_certification ~label:"schedule"
       (Noc_analysis.Certify.check
-         ~claimed_energy:
-           evaluation.Noc_experiments.Runner.metrics.Noc_sched.Metrics.total_energy
-         platform ctg schedule);
+         ~claimed_energy:metrics.Noc_sched.Metrics.total_energy platform ctg
+         schedule);
     Ok ()
   in
   Cmd.v
@@ -352,6 +385,13 @@ let simulate_cmd =
   let self_timed_arg =
     Arg.(value & flag & info [ "self-timed" ]
            ~doc:"Use work-conserving dispatch instead of the tabled times.")
+  in
+  let input_arg =
+    Arg.(value & opt (some string) None
+         & info [ "input"; "i" ] ~docv:"FILE"
+             ~doc:"Simulate a graph loaded from FILE (text format; $(b,-) reads \
+                   stdin) instead of a built-in benchmark; the platform still \
+                   comes from $(b,--mesh).")
   in
   let fault_arg =
     Arg.(value & opt_all string []
@@ -380,10 +420,16 @@ let simulate_cmd =
     Format.printf "%s: %d deadline misses, %d lost tasks, blocked %.1f@." label misses
       lost outcome.Noc_sim.Executor.waiting_time
   in
-  let run spec algo mesh tasks tightness self_timed fault_specs reschedule criticality
-      obs =
+  let run spec algo mesh tasks tightness input self_timed fault_specs reschedule
+      criticality obs =
     with_obs obs @@ fun () ->
-    let platform, ctg = platform_and_ctg spec ~mesh ~tasks ~tightness in
+    let platform, ctg =
+      match input with
+      | None -> platform_and_ctg spec ~mesh ~tasks ~tightness
+      | Some path ->
+        let ctg = load_ctg path in
+        (platform_for_ctg ~mesh ctg, ctg)
+    in
     let schedule = Noc_experiments.Runner.schedule_of algo platform ctg in
     let discipline =
       if self_timed then Noc_sim.Executor.Self_timed else Noc_sim.Executor.Time_triggered
@@ -444,8 +490,8 @@ let simulate_cmd =
              faults.")
     Term.(term_result
             (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
-             $ self_timed_arg $ fault_arg $ reschedule_arg $ criticality_arg
-             $ obs_term))
+             $ input_arg $ self_timed_arg $ fault_arg $ reschedule_arg
+             $ criticality_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
@@ -454,8 +500,8 @@ let analyze_cmd =
   let ctg_arg =
     Arg.(value & opt (some string) None
          & info [ "ctg" ] ~docv:"FILE"
-             ~doc:"Lint the task graph loaded from FILE (text format) instead of the \
-                   $(b,--benchmark) one.")
+             ~doc:"Lint the task graph loaded from FILE (text format; $(b,-) reads \
+                   stdin) instead of the $(b,--benchmark) one.")
   in
   let platform_arg =
     Arg.(value & flag
@@ -495,15 +541,9 @@ let analyze_cmd =
         end
         else
           match ctg_file with
-          | Some path -> (
-            match Noc_ctg.Ctg_io.load ~path with
-            | Error msg -> failwith (path ^ ": " ^ msg)
-            | Ok ctg ->
-              let cols, rows = mesh in
-              let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows () in
-              if Noc_ctg.Ctg.n_pes ctg <> Noc_noc.Platform.n_pes platform then
-                failwith "graph PE count does not match --mesh";
-              (platform, Some ctg))
+          | Some path ->
+            let ctg = load_ctg path in
+            (platform_for_ctg ~mesh ctg, Some ctg)
           | None ->
             let platform, ctg = platform_and_ctg spec ~mesh ~tasks ~tightness in
             (platform, Some ctg)
@@ -680,6 +720,144 @@ let experiment_cmd =
     Term.(term_result (const run $ which_arg $ quick_arg $ jobs_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+
+let serve_cmd =
+  let socket_arg =
+    Arg.(value & opt string "/tmp/nocsched.sock"
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Unix-domain socket the daemon listens on (client mode connects \
+                   to it).")
+  in
+  let cache_arg =
+    Arg.(value & opt int 64
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Certified-schedule cache capacity (LRU entries).")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Fan concurrent pure schedule requests over N domains. \
+                   Replies are bit-identical at every job count.")
+  in
+  let call_arg =
+    Arg.(value & opt (some string) None
+         & info [ "call" ] ~docv:"OP"
+             ~doc:"Client mode: send one request ($(b,schedule), $(b,simulate), \
+                   $(b,reschedule), $(b,stats) or $(b,shutdown)) to a running \
+                   daemon, print the reply line and exit 0 when the daemon \
+                   reported success.")
+  in
+  let raw_arg =
+    Arg.(value & opt (some string) None
+         & info [ "raw" ] ~docv:"LINE"
+             ~doc:"Client mode: send LINE verbatim (one protocol JSON object) \
+                   and print the reply.")
+  in
+  let input_arg =
+    Arg.(value & opt (some string) None
+         & info [ "input"; "i" ] ~docv:"FILE"
+             ~doc:"Task graph for $(b,--call) schedule/simulate/reschedule (text \
+                   format; $(b,-) reads stdin).")
+  in
+  let fault_arg =
+    Arg.(value & opt_all string []
+         & info [ "fault" ] ~docv:"SPEC"
+             ~doc:"Fault spec for $(b,--call) simulate/reschedule (repeatable); \
+                   syntax as in $(b,simulate).")
+  in
+  let self_timed_arg =
+    Arg.(value & flag & info [ "self-timed" ]
+           ~doc:"Work-conserving dispatch for $(b,--call) simulate.")
+  in
+  let decisions_arg =
+    Arg.(value & flag
+         & info [ "decisions" ]
+             ~doc:"Ask for the EAS decision log in the $(b,--call) schedule \
+                   reply.")
+  in
+  let stats_arg =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Daemon mode: print the counter/histogram report (request \
+                   latencies included) after shutdown.")
+  in
+  let retries_arg =
+    Arg.(value & opt int 100
+         & info [ "retries" ] ~docv:"N"
+             ~doc:"Client mode: connection attempts 50 ms apart, so a freshly \
+                   started daemon has time to bind its socket.")
+  in
+  let build_call op ~input ~mesh ~algo ~faults ~self_timed ~decisions =
+    let ctg_text () =
+      match input with
+      | Some path -> read_ctg_text path
+      | None -> failwith ("--call " ^ op ^ " needs --input FILE")
+    in
+    match op with
+    | "stats" -> Noc_serve.Protocol.(request_to_line Stats)
+    | "shutdown" -> Noc_serve.Protocol.(request_to_line Shutdown)
+    | "schedule" ->
+      Noc_serve.Protocol.(
+        request_to_line (Schedule { ctg_text = ctg_text (); mesh; algo; decisions }))
+    | "simulate" ->
+      Noc_serve.Protocol.(
+        request_to_line
+          (Simulate { ctg_text = ctg_text (); mesh; algo; faults; self_timed }))
+    | "reschedule" ->
+      Noc_serve.Protocol.(
+        request_to_line (Reschedule { ctg_text = ctg_text (); mesh; algo; faults }))
+    | other ->
+      failwith
+        (Printf.sprintf
+           "unknown --call %S (known: schedule, simulate, reschedule, stats, shutdown)"
+           other)
+  in
+  let run socket cache jobs call raw input mesh algo faults self_timed decisions
+      stats retries =
+    Noc_obs.Log.init_from_env ();
+    match (call, raw) with
+    | Some _, Some _ -> Error (`Msg "--call and --raw are mutually exclusive")
+    | None, None ->
+      (match jobs with
+      | Some n when n < 1 -> failwith "--jobs must be at least 1"
+      | Some _ | None -> ());
+      if cache < 1 then failwith "--cache must be at least 1";
+      Noc_serve.Server.run
+        { Noc_serve.Server.socket_path = socket; capacity = cache; jobs };
+      if stats then print_string (Noc_obs.Report.render ());
+      Ok ()
+    | _ ->
+      let line =
+        match (call, raw) with
+        | Some op, None ->
+          build_call op ~input ~mesh ~algo ~faults ~self_timed ~decisions
+        | None, Some line -> line
+        | None, None | Some _, Some _ -> assert false
+      in
+      let reply =
+        Noc_serve.Client.one_shot ~retries:(max 0 retries) ~socket_path:socket line
+      in
+      print_endline reply;
+      (match Noc_obs.Json.parse reply with
+      | Ok obj when Noc_obs.Json.member "ok" obj = Some (Noc_obs.Json.Bool true) ->
+        Ok ()
+      | Ok _ | Error _ ->
+        Format.pp_print_flush Format.std_formatter ();
+        Stdlib.exit 1)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Scheduling as a service: a Unix-socket daemon with a certified \
+             schedule cache and incremental fault rescheduling (newline-delimited \
+             JSON, schema $(b,nocsched/serve/v1)). Without $(b,--call)/$(b,--raw) \
+             it runs the daemon in the foreground until a shutdown request.")
+    Term.(term_result
+            (const run $ socket_arg $ cache_arg $ jobs_arg $ call_arg $ raw_arg
+             $ input_arg $ mesh_arg $ algo_arg $ fault_arg $ self_timed_arg
+             $ decisions_arg $ stats_arg $ retries_arg))
+
+(* ------------------------------------------------------------------ *)
 (* trace-check                                                         *)
 
 let trace_check_cmd =
@@ -715,10 +893,23 @@ let () =
     Cmd.info "nocsched" ~version:"1.0.0"
       ~doc:"Energy-aware communication and task scheduling for NoC architectures"
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            generate_cmd; schedule_cmd; simulate_cmd; analyze_cmd; experiment_cmd;
-            trace_check_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        generate_cmd; schedule_cmd; simulate_cmd; analyze_cmd; experiment_cmd;
+        serve_cmd; trace_check_cmd;
+      ]
+  in
+  (* Uniform failure contract: unknown subcommands, malformed flags and
+     failed runs all print to stderr and exit 2 (cmdliner's defaults
+     would scatter them over 124/125). Analyses that define their own
+     lint-style exit codes call [Stdlib.exit] before reaching here. *)
+  match Cmd.eval_value ~catch:false group with
+  | Ok (`Ok ()) | Ok `Version | Ok `Help -> exit 0
+  | Error (`Parse | `Term | `Exn) -> exit 2
+  | exception Failure msg ->
+    Printf.eprintf "nocsched: %s\n%!" msg;
+    exit 2
+  | exception exn ->
+    Printf.eprintf "nocsched: internal error: %s\n%!" (Printexc.to_string exn);
+    exit 2

@@ -107,6 +107,39 @@ let min_load_bound g =
   in
   total /. float_of_int (n_pes g)
 
+(* Canonical serialization for the content digest. Hex floats make the
+   text (and hence the digest) exact; task names are display labels and
+   edge ids arbitrary declaration positions, so neither participates —
+   two graphs posing the same scheduling problem digest identically. *)
+let digest g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "ctg-digest/v1 pes %d\n" (n_pes g));
+  Array.iter
+    (fun (t : Task.t) ->
+      Buffer.add_string buf (Printf.sprintf "task %d" t.Task.id);
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %h" v)) t.Task.exec_times;
+      Buffer.add_char buf '|';
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %h" v)) t.Task.energies;
+      (match t.Task.release with
+      | None -> ()
+      | Some r -> Buffer.add_string buf (Printf.sprintf " release %h" r));
+      (match t.Task.deadline with
+      | None -> ()
+      | Some d -> Buffer.add_string buf (Printf.sprintf " deadline %h" d));
+      Buffer.add_char buf '\n')
+    g.tasks;
+  let arcs =
+    List.sort
+      (fun (a : Edge.t) (b : Edge.t) -> compare (a.Edge.src, a.Edge.dst) (b.Edge.src, b.Edge.dst))
+      (Array.to_list g.edges)
+  in
+  List.iter
+    (fun (e : Edge.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %d -> %d %h\n" e.Edge.src e.Edge.dst e.Edge.volume))
+    arcs;
+  Noc_util.Fnv.digest (Buffer.contents buf)
+
 let pp ppf g =
   Format.fprintf ppf "ctg(%d tasks, %d edges, %d PEs)" (n_tasks g) (n_edges g) (n_pes g)
 

@@ -74,6 +74,31 @@ let warm_routes t =
     done
   done
 
+(* Canonical serialization for the content digest: everything that
+   influences routes, durations or energies — topology, the PE
+   descriptors, the bit-energy model, bandwidth and router latency.
+   Hex floats keep it exact; the route memo is derived state and does
+   not participate, so a warmed and a cold platform digest equally. *)
+let digest t =
+  let buf = Buffer.create 256 in
+  let topo_line =
+    match t.topology with
+    | Topology.Mesh { cols; rows } -> Printf.sprintf "mesh %d %d" cols rows
+    | Topology.Torus { cols; rows } -> Printf.sprintf "torus %d %d" cols rows
+    | Topology.Honeycomb { cols; rows } -> Printf.sprintf "honeycomb %d %d" cols rows
+  in
+  Buffer.add_string buf (Printf.sprintf "platform-digest/v1 %s\n" topo_line);
+  Buffer.add_string buf
+    (Printf.sprintf "energy %h %h bandwidth %h latency %h\n" t.energy.Energy_model.e_sbit
+       t.energy.Energy_model.e_lbit t.link_bandwidth t.router_latency);
+  Array.iter
+    (fun (pe : Pe.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "pe %d %s %h %h\n" pe.Pe.index (Pe.kind_name pe.Pe.kind)
+           pe.Pe.time_factor pe.Pe.power_factor))
+    t.pes;
+  Noc_util.Fnv.digest (Buffer.contents buf)
+
 let route t ~src ~dst = (route_info t ~src ~dst).nodes
 let route_links t ~src ~dst = (route_info t ~src ~dst).links
 let hops t ~src ~dst = (route_info t ~src ~dst).n_hops

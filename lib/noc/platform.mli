@@ -43,6 +43,14 @@ val route : t -> src:int -> dst:int -> int list
 val route_links : t -> src:int -> dst:int -> Routing.link list
 val hops : t -> src:int -> dst:int -> int
 
+val digest : t -> string
+(** Stable content digest: FNV-1a ({!Noc_util.Fnv}) over a canonical
+    serialization of the topology, PE descriptors, bit-energy model,
+    bandwidth and router latency (floats rendered exactly). Derived
+    state — in particular the route memo — does not participate, so
+    warming routes leaves the digest unchanged. Used as the platform
+    component of the serve daemon's schedule-cache key. *)
+
 val warm_routes : t -> unit
 (** Eagerly fill the whole [(src, dst)] route memo. The lazy fill is
     not safe under concurrent use, so campaigns that share one platform

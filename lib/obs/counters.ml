@@ -58,6 +58,7 @@ type summary = {
   mean : float;
   p50 : float;
   p95 : float;
+  p99 : float;
 }
 
 let summarise samples =
@@ -68,8 +69,9 @@ let summarise samples =
     min = Noc_util.Stats.min_value arr;
     max = Noc_util.Stats.max_value arr;
     mean = Noc_util.Stats.mean arr;
-    p50 = Noc_util.Stats.median arr;
-    p95 = Noc_util.Stats.percentile arr ~p:95.;
+    p50 = Noc_util.Stats.percentile_sorted arr ~p:50.;
+    p95 = Noc_util.Stats.percentile_sorted arr ~p:95.;
+    p99 = Noc_util.Stats.percentile_sorted arr ~p:99.;
   }
 
 let summaries () =

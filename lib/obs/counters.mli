@@ -45,6 +45,7 @@ type summary = {
   mean : float;
   p50 : float;
   p95 : float;
+  p99 : float;
 }
 
 val summaries : unit -> (string * summary) list

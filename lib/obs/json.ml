@@ -34,6 +34,54 @@ let number f =
   else if Float.is_nan f then "\"nan\""
   else Printf.sprintf "%.17g" f
 
+(* Shortest decimal form that parses back to exactly [f]. %.17g always
+   round-trips for doubles; most values need far fewer digits. *)
+let shortest_number f =
+  if f = Float.infinity then "\"inf\""
+  else if f = Float.neg_infinity then "\"-inf\""
+  else if Float.is_nan f then "\"nan\""
+  else if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
+  else
+    let s15 = Printf.sprintf "%.15g" f in
+    if float_of_string s15 = f then s15
+    else
+      let s16 = Printf.sprintf "%.16g" f in
+      if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  let rec go = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Number f -> Buffer.add_string buf (shortest_number f)
+    | String s -> Buffer.add_string buf (escape_string s)
+    | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          go item)
+        items;
+      Buffer.add_char buf ']'
+    | Obj fields ->
+      (* Canonical key order; the sort is stable so duplicate keys (which
+         the parser accepts) keep their relative order. *)
+      let fields =
+        List.stable_sort (fun (a, _) (b, _) -> String.compare a b) fields
+      in
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (key, value) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (escape_string key);
+          Buffer.add_char buf ':';
+          go value)
+        fields;
+      Buffer.add_char buf '}'
+  in
+  go v;
+  Buffer.contents buf
+
 exception Fail of int * string
 
 let parse text =

@@ -19,6 +19,19 @@ val parse : string -> (t, string) result
 val member : string -> t -> t option
 (** Field lookup on [Obj]; [None] on other constructors. *)
 
+val to_string : t -> string
+(** Canonical printer: object keys sorted (byte order, duplicates kept
+    in input order), no insignificant whitespace, floats in the shortest
+    [%.15g]/[%.16g]/[%.17g] form that round-trips through
+    [float_of_string], integral floats below [1e16] printed without a
+    fractional part. Two structurally equal documents therefore print
+    identically, so printed forms can be compared byte for byte (the
+    serve protocol's cache-identity tests rely on this).
+    [parse (to_string v)] is [Ok v] for every [v] free of non-finite
+    numbers; infinities and NaN print as the strings ["inf"], ["-inf"]
+    and ["nan"] (the {!number} convention), which parse back as
+    [String]s. *)
+
 val escape_string : string -> string
 (** [escape_string s] is [s] as a quoted JSON string literal. *)
 

@@ -16,10 +16,13 @@ let render () =
   else
     Buffer.add_string buf
       (Noc_util.Text_table.render
-         ~header:[ "span"; "count"; "p50 ms"; "p95 ms"; "max ms" ]
+         ~header:[ "span"; "count"; "p50 ms"; "p95 ms"; "p99 ms"; "max ms" ]
          (List.map
             (fun (name, (s : Counters.summary)) ->
-              [ name; string_of_int s.count; ms_cell s.p50; ms_cell s.p95; ms_cell s.max ])
+              [
+                name; string_of_int s.count; ms_cell s.p50; ms_cell s.p95;
+                ms_cell s.p99; ms_cell s.max;
+              ])
             histograms));
   if Buffer.length buf > 0 && Buffer.nth buf (Buffer.length buf - 1) <> '\n' then
     Buffer.add_char buf '\n';

@@ -165,10 +165,11 @@ let export () =
           (fun (k, (s : Counters.summary)) ->
             Printf.sprintf
               "%s: {\"count\": %d, \"min\": %s, \"max\": %s, \"mean\": %s, \
-               \"p50\": %s, \"p95\": %s}"
+               \"p50\": %s, \"p95\": %s, \"p99\": %s}"
               (Json.escape_string k) s.Counters.count (Json.number s.Counters.min)
               (Json.number s.Counters.max) (Json.number s.Counters.mean)
-              (Json.number s.Counters.p50) (Json.number s.Counters.p95))
+              (Json.number s.Counters.p50) (Json.number s.Counters.p95)
+              (Json.number s.Counters.p99))
           histograms));
   Buffer.add_string buf "}\n}\n}\n";
   Buffer.contents buf

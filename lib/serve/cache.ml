@@ -1,0 +1,77 @@
+type 'a entry = { value : 'a; mutable tick : int }
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  lock : Mutex.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
+  {
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    lock = Mutex.create ();
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = with_lock t (fun () -> Hashtbl.length t.table)
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some entry ->
+        entry.tick <- tick t;
+        t.hits <- t.hits + 1;
+        Some entry.value
+      | None ->
+        t.misses <- t.misses + 1;
+        None)
+
+(* O(capacity) scan; capacities are small (tens to a few thousand) and
+   eviction is off the cache-hit fast path. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key entry ->
+      match !victim with
+      | Some (_, best) when best <= entry.tick -> ()
+      | Some _ | None -> victim := Some (key, entry.tick))
+    t.table;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+    Hashtbl.remove t.table key;
+    t.evictions <- t.evictions + 1
+
+let add t key value =
+  with_lock t (fun () ->
+      if not (Hashtbl.mem t.table key) && Hashtbl.length t.table >= t.capacity then
+        evict_lru t;
+      Hashtbl.replace t.table key { value; tick = tick t })
+
+let hits t = with_lock t (fun () -> t.hits)
+let misses t = with_lock t (fun () -> t.misses)
+let evictions t = with_lock t (fun () -> t.evictions)
+
+let keys t =
+  with_lock t (fun () ->
+      Hashtbl.fold (fun key entry acc -> (key, entry.tick) :: acc) t.table [])
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst

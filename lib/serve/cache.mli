@@ -1,0 +1,31 @@
+(** Bounded LRU memo for certified schedules (and warmed kernels).
+
+    Keys are the digest strings of {!Digest}. The cache is guarded by a
+    mutex — the server fans independent requests over a domain pool and
+    every worker shares it. Recency is a logical tick bumped on every
+    {!find} hit and {!add}; at capacity the least-recently-used entry
+    is evicted. Statistics (hits, misses, evictions) are monotonic over
+    the cache's lifetime. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] on a non-positive capacity. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Records a hit (bumping the entry's recency) or a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts or replaces; evicts the least-recently-used entry when a
+    genuine insertion would exceed capacity. Replacement of an existing
+    key never evicts. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int
+val evictions : 'a t -> int
+
+val keys : 'a t -> string list
+(** Current keys, most recently used first (for tests and stats). *)

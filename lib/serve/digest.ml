@@ -1,0 +1,11 @@
+let fault_set faults = Noc_util.Fnv.digest (Noc_fault.Fault_set.key faults)
+
+let make ~algo ~ctg_digest ~platform_digest ~fault_digest =
+  Printf.sprintf "%s:%s:%s:%s"
+    (String.lowercase_ascii (Noc_experiments.Runner.algo_name algo))
+    ctg_digest platform_digest fault_digest
+
+let key ~algo ~ctg ~platform ~faults =
+  make ~algo ~ctg_digest:(Noc_ctg.Ctg.digest ctg)
+    ~platform_digest:(Noc_noc.Platform.digest platform)
+    ~fault_digest:(fault_set faults)

@@ -1,0 +1,36 @@
+(** Cache-key derivation for the scheduling daemon.
+
+    A served schedule is a pure function of the task graph, the
+    platform, the fault set and the scheduler configuration, so the
+    memo key concatenates stable content digests of all four:
+
+    {v algo : ctg-digest : platform-digest : fault-digest v}
+
+    CTG and platform digests come from {!Noc_ctg.Ctg.digest} and
+    {!Noc_noc.Platform.digest}; the fault component hashes the fault
+    set's canonical {!Noc_fault.Fault_set.key} (the empty set digests
+    to a fixed value, so plain [schedule] requests and [reschedule]
+    requests share the key space without colliding). FNV-1a is a
+    content digest, not a cryptographic hash — the daemon trusts its
+    clients. *)
+
+val fault_set : Noc_fault.Fault_set.t -> string
+(** FNV-1a hex digest of the set's canonical key. *)
+
+val make :
+  algo:Noc_experiments.Runner.algo ->
+  ctg_digest:string ->
+  platform_digest:string ->
+  fault_digest:string ->
+  string
+(** {!key} from already-computed component digests — the server
+    memoizes the CTG and platform digests with the objects they
+    describe, so a cache hit never re-serializes the graph. *)
+
+val key :
+  algo:Noc_experiments.Runner.algo ->
+  ctg:Noc_ctg.Ctg.t ->
+  platform:Noc_noc.Platform.t ->
+  faults:Noc_fault.Fault_set.t ->
+  string
+(** The full cache key, [algo:ctg:platform:faults]. *)

@@ -1,0 +1,66 @@
+(** The scheduling daemon: a Unix-domain-socket server around the EAS
+    machinery.
+
+    One [run] call owns one listening socket and serves {!Protocol}
+    requests until a [shutdown] request arrives. Architecture:
+
+    - {b Warm state.} Platforms (one per requested mesh geometry) are
+      built once, their route memos eagerly warmed, and kept resident;
+      flat-array {!Noc_eas.Kernel} matrices are memoized per
+      (CTG, platform) digest pair in their own LRU, so a cache-missed
+      request pays the build at most once.
+    - {b Schedule cache.} Results are memoized in an LRU keyed by
+      {!Digest.key} (algo, CTG digest, platform digest, fault digest).
+      Every entry was certified by {!Noc_analysis.Certify} when it was
+      inserted — a schedule the certifier rejects is returned as an
+      error and never cached — and hits are served without
+      re-certification. Hits are label-faithful: a request whose graph
+      permutes edge declaration order relative to the cached one gets
+      its transactions relabelled through the arc-endpoint map, so the
+      reply is always valid for the {e request's} graph.
+    - {b Incremental rescheduling.} [reschedule] requests run the
+      {!Noc_eas.Fault_resched} migrate → rebuild → repair ladder
+      against the cached base schedule instead of a full EAS re-run;
+      the base is computed (and cached) on demand.
+    - {b Concurrency.} A [select] loop multiplexes any number of
+      client connections; complete request lines collected in one
+      round are fanned over {!Noc_util.Pool} when more than one pure
+      [schedule] request is pending (fault-carrying and decision-log
+      requests are handled serially — they touch lazily-filled
+      degraded views and the global decision log). Responses go only
+      to the connection that asked.
+    - {b Observability.} Per-op request latencies land in
+      [serve/<op>] histograms and cache traffic in [serve.cache.*]
+      counters ({!Noc_obs.Counters}); the [stats] request (and the
+      CLI's [--stats]) surfaces p50/p99 and cache hit rates. *)
+
+type config = {
+  socket_path : string;
+  capacity : int;  (** Schedule-cache entries (default 64). *)
+  jobs : int option;
+      (** Domains for fanning concurrent requests; [None] = serial. *)
+}
+
+val default_config : socket_path:string -> config
+
+type state
+(** Warm platforms, kernel memo and schedule cache, shared by every
+    request the daemon serves. *)
+
+val make_state : config -> state
+(** A server state without a socket — tests and the in-process bench
+    drive it through {!handle_line} directly. *)
+
+val handle_line : state -> string -> string * bool
+(** Process one request line against the server state, returning the
+    reply line (no trailing newline) and whether the request asked for
+    shutdown. Never raises: internal failures become structured error
+    replies. *)
+
+val run : ?on_ready:(unit -> unit) -> config -> unit
+(** Binds [socket_path] (unlinking any stale socket file first),
+    listens, serves until a [shutdown] request, then closes every
+    connection and removes the socket file. [on_ready] fires once the
+    socket is listening — tests and in-process benches use it instead
+    of polling. Raises [Unix.Unix_error] when the socket cannot be
+    bound. *)

@@ -1,0 +1,15 @@
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let fold h s =
+  let h = ref h in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h prime)
+    s;
+  !h
+
+let fnv1a64 s = fold offset_basis s
+let to_hex h = Printf.sprintf "%016Lx" h
+let digest s = to_hex (fnv1a64 s)

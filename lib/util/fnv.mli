@@ -1,0 +1,25 @@
+(** FNV-1a content hashing.
+
+    The 64-bit Fowler–Noll–Vo (variant 1a) hash over byte strings: fast,
+    dependency-free and stable across platforms and OCaml versions —
+    exactly what persistent cache keys need. This is a {e content
+    digest}, not a cryptographic hash; collisions are astronomically
+    unlikely for the cache sizes involved but an adversary could craft
+    them, so never use it for authentication. *)
+
+val fnv1a64 : string -> int64
+(** The raw 64-bit FNV-1a hash of the bytes of the string. *)
+
+val fold : int64 -> string -> int64
+(** [fold h s] continues an FNV-1a computation: feeding a document in
+    pieces gives the same hash as feeding the concatenation.
+    [fnv1a64 s = fold offset_basis s]. *)
+
+val offset_basis : int64
+(** The standard 64-bit FNV offset basis, [0xcbf29ce484222325]. *)
+
+val to_hex : int64 -> string
+(** Lower-case, zero-padded 16-character hex rendering. *)
+
+val digest : string -> string
+(** [to_hex (fnv1a64 s)]: the hex digest used in cache keys. *)

@@ -73,6 +73,87 @@ let test_bad_benchmark () =
   let code, _ = run_capture "schedule --benchmark bogus" in
   Alcotest.(check bool) "non-zero exit" true (code <> 0)
 
+(* Like run_capture, but the argument string is a full shell pipeline
+   with a %s hole for the binary, and stdout/stderr come back
+   separately. *)
+let run_shell fmt =
+  Printf.ksprintf
+    (fun pipeline ->
+      let out = Filename.temp_file "nocsched_cli" ".out" in
+      let err = Filename.temp_file "nocsched_cli" ".err" in
+      let command =
+        Printf.sprintf "%s > %s 2> %s" pipeline (Filename.quote out)
+          (Filename.quote err)
+      in
+      let code = Sys.command command in
+      let read f = In_channel.with_open_text f In_channel.input_all in
+      let stdout = read out and stderr = read err in
+      Sys.remove out;
+      Sys.remove err;
+      (code, stdout, stderr))
+    fmt
+
+let test_stdin_dash () =
+  let ctg_file = Filename.temp_file "cli_stdin" ".ctg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove ctg_file)
+    (fun () ->
+      let code, _ =
+        run_capture (Printf.sprintf "generate --tasks 12 --seed 5 -o %s" ctg_file)
+      in
+      Alcotest.(check int) "generate exit 0" 0 code;
+      let code, stdout, _ =
+        run_shell "cat %s | %s schedule -" (Filename.quote ctg_file) binary
+      in
+      Alcotest.(check int) "schedule - exit 0" 0 code;
+      Alcotest.(check bool) "schedule - ran" true (contains stdout "energy");
+      (* The positional form and --input - are the same path. *)
+      let code, stdout, _ =
+        run_shell "cat %s | %s schedule --input -" (Filename.quote ctg_file) binary
+      in
+      Alcotest.(check int) "schedule --input - exit 0" 0 code;
+      Alcotest.(check bool) "--input - ran" true (contains stdout "energy");
+      let code, stdout, _ =
+        run_shell "cat %s | %s simulate --input -" (Filename.quote ctg_file) binary
+      in
+      Alcotest.(check int) "simulate --input - exit 0" 0 code;
+      Alcotest.(check bool) "simulate - ran" true (contains stdout "planned");
+      let code, stdout, _ =
+        run_shell "cat %s | %s analyze --ctg -" (Filename.quote ctg_file) binary
+      in
+      Alcotest.(check int) "analyze --ctg - exit 0" 0 code;
+      Alcotest.(check bool) "analyze - ran" true (contains stdout "analyzed");
+      (* generate -o - streams the graph, so the two chain directly. *)
+      let code, stdout, _ =
+        run_shell "%s generate --tasks 10 --seed 6 -o - | %s schedule -" binary
+          binary
+      in
+      Alcotest.(check int) "generate | schedule pipe exit 0" 0 code;
+      Alcotest.(check bool) "pipe ran" true (contains stdout "energy"))
+
+(* Usage errors are uniform across the CLI: exit code 2, the complaint
+   and usage on stderr, stdout untouched. *)
+let test_usage_errors_exit_2 () =
+  let cases =
+    [
+      ("unknown subcommand", "frobnicate", "unknown command");
+      ("unknown flag", "schedule --no-such-flag", "unknown option");
+      ("malformed mesh", "generate --mesh 4x", "--mesh");
+      ("malformed algo", "schedule --algo bogus --benchmark tgff:1", "--algo");
+      ("stray positional", "simulate stray-arg", "too many arguments");
+    ]
+  in
+  List.iter
+    (fun (label, args, needle) ->
+      let code, stdout, stderr = run_shell "%s %s" binary args in
+      Alcotest.(check int) (label ^ ": exit 2") 2 code;
+      Alcotest.(check string) (label ^ ": stdout clean") "" stdout;
+      Alcotest.(check bool) (label ^ ": names the problem") true
+        (contains stderr needle);
+      Alcotest.(check bool) (label ^ ": prints usage") true
+        (contains stderr "Usage:"))
+    cases
+
 let test_help () =
   let code, text = run_capture "--help=plain" in
   Alcotest.(check int) "exit 0" 0 code;
@@ -89,5 +170,7 @@ let suite =
     Alcotest.test_case "simulate" `Quick test_simulate;
     Alcotest.test_case "unknown experiment" `Quick test_experiment_unknown;
     Alcotest.test_case "bad benchmark" `Quick test_bad_benchmark;
+    Alcotest.test_case "stdin via -" `Quick test_stdin_dash;
+    Alcotest.test_case "usage errors exit 2" `Quick test_usage_errors_exit_2;
     Alcotest.test_case "help" `Quick test_help;
   ]

@@ -161,6 +161,74 @@ let test_dot_output () =
     (String.length dot > 0 && String.sub dot 0 7 = "digraph")
 
 (* ------------------------------------------------------------------ *)
+(* Digest *)
+
+let hex_digest_re c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+let test_digest_stability () =
+  let d = Ctg.digest (simple_graph ()) in
+  Alcotest.(check int) "64-bit FNV as hex" 16 (String.length d);
+  Alcotest.(check bool) "lowercase hex" true (String.for_all hex_digest_re d);
+  Alcotest.(check string) "deterministic" d (Ctg.digest (simple_graph ()))
+
+(* The digest covers graph content, not presentation: permuting the
+   declaration (id) order of edges or renaming tasks changes nothing. *)
+let test_digest_ignores_presentation () =
+  let g = simple_graph () in
+  let tasks =
+    Array.map (fun (t : Task.t) ->
+        Task.make ~id:t.Task.id ~name:("renamed_" ^ t.Task.name)
+          ~exec_times:t.Task.exec_times ~energies:t.Task.energies
+          ?deadline:t.Task.deadline ())
+      (Array.init (Ctg.n_tasks g) (Ctg.task g))
+  in
+  let edges = Array.init (Ctg.n_edges g) (Ctg.edge g) in
+  let n = Array.length edges in
+  let permuted =
+    (* Reverse the declaration order, re-assigning ids to stay valid. *)
+    Array.init n (fun i ->
+        let (e : Edge.t) = edges.(n - 1 - i) in
+        Edge.make ~id:i ~src:e.Edge.src ~dst:e.Edge.dst ~volume:e.Edge.volume)
+  in
+  Alcotest.(check string) "task names excluded"
+    (Ctg.digest g)
+    (Ctg.digest (Ctg.make_exn ~tasks ~edges));
+  Alcotest.(check string) "edge declaration order excluded"
+    (Ctg.digest g)
+    (Ctg.digest (Ctg.make_exn ~tasks:(Array.init (Ctg.n_tasks g) (Ctg.task g)) ~edges:permuted))
+
+let test_digest_sensitivity () =
+  let base = simple_graph () in
+  let variant ~volume ~deadline ~cost =
+    let tasks =
+      [|
+        mk_task 0 [ 1.; (if cost then 2.5 else 2.) ] [ 10.; 5. ];
+        mk_task 1 [ 3.; 1. ] [ 6.; 9. ];
+        mk_task 2 [ 2.; 2. ] [ 4.; 4. ];
+        mk_task ~deadline:(if deadline then 99. else 100.) 3 [ 1.; 1. ] [ 2.; 3. ];
+      |]
+    in
+    let edges =
+      [|
+        Edge.make ~id:0 ~src:0 ~dst:1 ~volume:(if volume then 101. else 100.);
+        Edge.make ~id:1 ~src:0 ~dst:2 ~volume:200.;
+        Edge.make ~id:2 ~src:1 ~dst:3 ~volume:300.;
+        Edge.make ~id:3 ~src:2 ~dst:3 ~volume:0.;
+      |]
+    in
+    Ctg.digest (Ctg.make_exn ~tasks ~edges)
+  in
+  let d = Ctg.digest base in
+  Alcotest.(check string) "identity rebuild matches" d
+    (variant ~volume:false ~deadline:false ~cost:false);
+  Alcotest.(check bool) "volume changes digest" true
+    (d <> variant ~volume:true ~deadline:false ~cost:false);
+  Alcotest.(check bool) "deadline changes digest" true
+    (d <> variant ~volume:false ~deadline:true ~cost:false);
+  Alcotest.(check bool) "exec cost changes digest" true
+    (d <> variant ~volume:false ~deadline:false ~cost:true)
+
+(* ------------------------------------------------------------------ *)
 (* Builder *)
 
 let test_builder_roundtrip () =
@@ -197,6 +265,10 @@ let suite =
     Alcotest.test_case "critical paths" `Quick test_critical_paths;
     Alcotest.test_case "in/out edges" `Quick test_in_out_edges;
     Alcotest.test_case "dot output" `Quick test_dot_output;
+    Alcotest.test_case "digest stability" `Quick test_digest_stability;
+    Alcotest.test_case "digest ignores presentation" `Quick
+      test_digest_ignores_presentation;
+    Alcotest.test_case "digest sensitivity" `Quick test_digest_sensitivity;
     Alcotest.test_case "builder roundtrip" `Quick test_builder_roundtrip;
     Alcotest.test_case "builder validations" `Quick test_builder_validations;
   ]

@@ -145,6 +145,98 @@ let test_json_escape_and_number () =
   | Ok (Json.Number f) -> Alcotest.(check (float 0.)) "finite round trip" 0.1 f
   | _ -> Alcotest.fail "number does not parse back"
 
+(* Canonical printer *)
+
+let test_json_to_string_canonical () =
+  let doc =
+    Json.Obj
+      [
+        ("b", Json.Number 1.);
+        ("a", Json.List [ Json.Null; Json.Bool false ]);
+        ("b", Json.String "dup");
+      ]
+  in
+  Alcotest.(check string) "keys sorted, duplicates kept in input order"
+    {|{"a":[null,false],"b":1,"b":"dup"}|} (Json.to_string doc);
+  Alcotest.(check string) "shortest round-trip float" "0.1"
+    (Json.to_string (Json.Number 0.1));
+  Alcotest.(check string) "integral float without fraction" "3"
+    (Json.to_string (Json.Number 3.));
+  Alcotest.(check string) "negative zero kept" "-0"
+    (Json.to_string (Json.Number (-0.)));
+  Alcotest.(check string) "infinity uses the number convention" "\"inf\""
+    (Json.to_string (Json.Number infinity));
+  (* Structurally equal documents print byte-identically regardless of
+     how their objects were assembled. *)
+  Alcotest.(check string) "field order never shows"
+    (Json.to_string (Json.Obj [ ("x", Json.Number 2.); ("y", Json.Null) ]))
+    (Json.to_string (Json.Obj [ ("y", Json.Null); ("x", Json.Number 2.) ]))
+
+(* qcheck: print/parse round trip on arbitrary documents. *)
+
+let json_gen =
+  let open QCheck.Gen in
+  let finite_float =
+    oneof
+      [
+        float;
+        oneofl
+          [ 0.; -0.; 0.1; 1e-300; -1.5e300; 1e16; 12345678901234567.; 1e22 ];
+      ]
+    >|= fun f -> if Float.is_finite f then f else 0.
+  in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun f -> Json.Number f) finite_float;
+        map (fun s -> Json.String s) (small_string ~gen:char);
+      ]
+  in
+  sized
+  @@ fix (fun self n ->
+         if n = 0 then scalar
+         else
+           frequency
+             [
+               (2, scalar);
+               ( 1,
+                 map
+                   (fun l -> Json.List l)
+                   (list_size (int_bound 4) (self (n / 2))) );
+               ( 1,
+                 map
+                   (fun kvs -> Json.Obj kvs)
+                   (list_size (int_bound 4)
+                      (pair (small_string ~gen:printable) (self (n / 2)))) );
+             ])
+
+(* to_string sorts object keys, so parsing the printed form yields the
+   canonicalized document: same tree with every object key-sorted
+   (stable, so duplicate keys keep their input order). *)
+let rec canonical = function
+  | (Json.Null | Json.Bool _ | Json.Number _ | Json.String _) as v -> v
+  | Json.List l -> Json.List (List.map canonical l)
+  | Json.Obj kvs ->
+    Json.Obj
+      (List.stable_sort
+         (fun (a, _) (b, _) -> String.compare a b)
+         (List.map (fun (k, v) -> (k, canonical v)) kvs))
+
+let qcheck_json_roundtrip =
+  QCheck.Test.make ~name:"json print/parse round trip" ~count:500
+    (QCheck.make ~print:Json.to_string json_gen)
+    (fun v ->
+      let printed = Json.to_string v in
+      match Json.parse printed with
+      | Error e -> QCheck.Test.fail_reportf "%S does not re-parse: %s" printed e
+      | Ok v' ->
+        if v' <> canonical v then
+          QCheck.Test.fail_reportf "re-parse is not the canonical document";
+        (* Printing is idempotent: the canonical form is a fixpoint. *)
+        String.equal (Json.to_string v') printed)
+
 (* Trace + Trace_check on a real scheduler run *)
 
 let test_trace_export_validates () =
@@ -277,6 +369,9 @@ let suite =
     Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
     Alcotest.test_case "json parse" `Quick test_json_parse;
     Alcotest.test_case "json escape/number" `Quick test_json_escape_and_number;
+    Alcotest.test_case "json canonical printer" `Quick
+      test_json_to_string_canonical;
+    QCheck_alcotest.to_alcotest qcheck_json_roundtrip;
     Alcotest.test_case "trace export validates" `Quick test_trace_export_validates;
     Alcotest.test_case "trace of parallel campaign validates" `Slow
       test_trace_parallel_campaign_validates;

@@ -101,6 +101,35 @@ let test_all_links () =
   Alcotest.(check int) "3x3 mesh directed links" 24
     (List.length (Platform.all_links platform))
 
+let test_digest () =
+  let fresh () = Platform.heterogeneous_mesh ~seed:42 ~cols:4 ~rows:4 () in
+  let d = Platform.digest (fresh ()) in
+  Alcotest.(check int) "64-bit FNV as hex" 16 (String.length d);
+  Alcotest.(check string) "deterministic" d (Platform.digest (fresh ()));
+  (* Derived state is excluded: warming the route memo is invisible. *)
+  let warmed = fresh () in
+  Platform.warm_routes warmed;
+  Alcotest.(check string) "route memo excluded" d (Platform.digest warmed);
+  (* Content is not: another seed, bandwidth or energy model differs. *)
+  Alcotest.(check bool) "seed changes digest" true
+    (d <> Platform.digest (Platform.heterogeneous_mesh ~seed:43 ~cols:4 ~rows:4 ()));
+  Alcotest.(check bool) "shape changes digest" true
+    (d <> Platform.digest (Platform.heterogeneous_mesh ~seed:42 ~cols:2 ~rows:8 ()));
+  let tweaked ~bandwidth ~e_lbit =
+    Platform.make
+      ~topology:(Topology.mesh ~cols:3 ~rows:3)
+      ~pes:(Array.init 9 (fun index -> Pe.of_kind ~index Pe.Dsp))
+      ~energy:(Energy_model.make ~e_sbit:1. ~e_lbit)
+      ~link_bandwidth:bandwidth ()
+  in
+  let base = Platform.digest (tweaked ~bandwidth:100. ~e_lbit:2.) in
+  Alcotest.(check string) "base platform digest matches module-level twin" base
+    (Platform.digest platform);
+  Alcotest.(check bool) "bandwidth changes digest" true
+    (base <> Platform.digest (tweaked ~bandwidth:200. ~e_lbit:2.));
+  Alcotest.(check bool) "bit-energy model changes digest" true
+    (base <> Platform.digest (tweaked ~bandwidth:100. ~e_lbit:2.5))
+
 let suite =
   [
     Alcotest.test_case "construction checks" `Quick test_construction_checks;
@@ -112,4 +141,5 @@ let suite =
     Alcotest.test_case "preset mixes kinds" `Quick test_heterogeneous_preset_mixes_kinds;
     Alcotest.test_case "homogeneous preset" `Quick test_homogeneous_preset;
     Alcotest.test_case "all links" `Quick test_all_links;
+    Alcotest.test_case "digest" `Quick test_digest;
   ]

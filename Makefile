@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-parallel bench-obs bench-serve serve-smoke trace-smoke quick-bench analyze verify examples doc clean
+.PHONY: all build test bench bench-json bench-parallel bench-obs bench-serve bench-routing serve-smoke trace-smoke quick-bench analyze analyze-adaptive verify examples doc clean
 
 all: build
 
@@ -51,6 +51,14 @@ bench-obs:
 bench-serve:
 	dune exec bench/main.exe -- serve
 
+# Turn-model routing gate: the relation proofs on the 8x8 mesh must be
+# diagnostic-free for all three models, every fully turn-legal degraded
+# route set in the Monte-Carlo sweep must be acyclic, and west-first
+# must keep solving the PR-3 two-fault detour cycle. Writes
+# BENCH_routing.json (committed).
+bench-routing:
+	dune exec bench/main.exe -- routing
+
 # End-to-end daemon smoke: start `nocsched serve` on a private socket,
 # run a schedule and an incremental reschedule through the client, ask
 # for a clean shutdown, and require every reply to be ok. The built
@@ -94,13 +102,22 @@ analyze: build
 	dune exec bin/nocsched.exe -- analyze --benchmark integrated:foreman || [ $$? -eq 1 ]
 	dune exec bin/nocsched.exe -- analyze --platform --mesh 8x8 || [ $$? -eq 1 ]
 
+# Adaptive-routing smoke: the relation proofs must certify both turn
+# models on the acceptance mesh (same lint semantics as `analyze`), and
+# an end-to-end schedule under west-first must certify.
+analyze-adaptive: build
+	dune exec bin/nocsched.exe -- analyze --platform --mesh 8x8 --routing west-first || [ $$? -eq 1 ]
+	dune exec bin/nocsched.exe -- analyze --platform --mesh 8x8 --routing odd-even || [ $$? -eq 1 ]
+	dune exec bin/nocsched.exe -- schedule --benchmark tgff:1 --tasks 20 --routing west-first
+
 # The full gate CI runs: build, the complete test suite, the static
-# analysis sweep, the trace and daemon smokes, then the persisted bench
-# gates (timeline regression, parallel-execution determinism/speedup,
-# the observability overhead/determinism gate, the scheduling-service
-# latency gate, and the fault-campaign survivability table written to
-# BENCH_faults.json).
-verify: build test analyze trace-smoke serve-smoke bench-json bench-parallel bench-obs bench-serve
+# analysis sweeps (deterministic and adaptive routing), the trace and
+# daemon smokes, then the persisted bench gates (timeline regression,
+# parallel-execution determinism/speedup, the observability
+# overhead/determinism gate, the scheduling-service latency gate, the
+# turn-model routing gate, and the fault-campaign survivability table
+# written to BENCH_faults.json).
+verify: build test analyze analyze-adaptive trace-smoke serve-smoke bench-json bench-parallel bench-obs bench-serve bench-routing
 	dune exec bench/main.exe -- faults
 
 examples:

@@ -888,6 +888,215 @@ module Serve_bench = struct
     end
 end
 
+(* ------------------------------------------------------------------ *)
+(* Turn-model routing bench gate (routing): relation-proof wall time
+   per model on the 8x8 acceptance mesh, plus a Monte-Carlo detour
+   survivability sweep over sampled two-link-fault sets on the 4x4
+   mesh (the fault_campaign seeding idiom). Persists BENCH_routing.json.
+
+   Three gates:
+   - Every model's relation proof on 8x8 must come back clean — zero
+     diagnostics, acyclic CDG (the PR's acceptance criterion).
+   - Soundness of the turn-legal detour search: on every sampled fault
+     set whose degraded route set stays entirely inside a model's
+     turn-legal walk set, the CDG must be acyclic (Glass & Ni, checked
+     empirically). Fault sets that force a BFS fallback — a failed
+     west link can strand west-first, and odd-even provably has no
+     turn-legal 5->6 route under the PR-3 pair — carry no guarantee
+     and are reported informationally.
+   - The explicit PR-3 two-fault case must be solved by west-first:
+     all detours turn-legal and the route set acyclic. *)
+module Routing_bench = struct
+  module Turn_model = Noc_noc.Turn_model
+  module Deadlock = Noc_analysis.Deadlock
+  module Fault_set = Noc_fault.Fault_set
+
+  let n_fault_sets = 12
+  let proof_repeats = 5
+
+  let median samples = Noc_util.Stats.percentile (Array.of_list samples) ~p:50.
+
+  let run file =
+    let oc =
+      try open_out file
+      with Sys_error msg ->
+        Printf.eprintf "cannot write bench output: %s\n" msg;
+        exit 1
+    in
+    (* Relation proofs on the 8x8 acceptance mesh. *)
+    let proof_platform =
+      Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols:8 ~rows:8 ()
+    in
+    let proofs =
+      List.map
+        (fun routing ->
+          let samples =
+            List.init proof_repeats (fun _ ->
+                let t0 = Unix.gettimeofday () in
+                ignore (Deadlock.check_routing ~routing proof_platform);
+                (Unix.gettimeofday () -. t0) *. 1000.)
+          in
+          let diagnostics = Deadlock.check_routing ~routing proof_platform in
+          let cdg = Deadlock.cdg_of_routing routing proof_platform in
+          ( routing,
+            median samples,
+            List.length diagnostics,
+            Noc_analysis.Cdg.n_channels cdg,
+            Noc_analysis.Cdg.n_dependencies cdg ))
+        Turn_model.all
+    in
+    (* Monte-Carlo detour survivability on the 4x4 mesh: sampled
+       two-link fault sets plus the explicit PR-3 pair. *)
+    let sample_platform =
+      Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols:4 ~rows:4 ()
+    in
+    let fault_sets =
+      List.init n_fault_sets (fun i ->
+          ( Printf.sprintf "sample-%d" i,
+            Fault_set.sample ~seed:(700 + i) ~platform:sample_platform
+              ~n_link_faults:2 ~n_pe_faults:0 () ))
+      @ [
+          ( "pr3-two-fault",
+            match Fault_set.of_strings [ "link:5-6"; "link:9-5" ] with
+            | Ok f -> f
+            | Error msg ->
+              Printf.eprintf "routing bench: bad fault spec: %s\n" msg;
+              exit 1 );
+        ]
+    in
+    let all_turn_legal routing topo routes =
+      List.for_all
+        (fun route ->
+          let rec ok = function
+            | prev :: (via :: next :: _ as rest) ->
+              Turn_model.turn_legal routing topo ~prev ~via ~next && ok rest
+            | _ -> true
+          in
+          ok route)
+        routes
+    in
+    let survival =
+      List.map
+        (fun routing ->
+          let platform =
+            Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~routing ~cols:4
+              ~rows:4 ()
+          in
+          let topo = Noc_noc.Platform.topology platform in
+          let per_set =
+            List.map
+              (fun (label, faults) ->
+                let cyclic =
+                  List.exists
+                    (fun (d : Noc_analysis.Diagnostic.t) ->
+                      d.rule = "deadlock/cyclic-cdg")
+                    (Deadlock.check_degraded platform faults)
+                in
+                let routes, _ =
+                  Deadlock.degraded_routes (Fault_set.degraded faults platform)
+                in
+                (label, (all_turn_legal routing topo routes, not cyclic)))
+              fault_sets
+          in
+          (routing, per_set))
+        Turn_model.all
+    in
+    (* Render, persist, gate. *)
+    Printf.printf "relation proofs (8x8 mesh, median of %d runs):\n" proof_repeats;
+    List.iter
+      (fun (routing, ms, diags, channels, deps) ->
+        Printf.printf "  %-10s  %7.2f ms  %d diagnostics  %d channels  %d deps\n"
+          (Turn_model.name routing) ms diags channels deps)
+      proofs;
+    Printf.printf "degraded-detour survivability (4x4 mesh, %d fault sets):\n"
+      (List.length fault_sets);
+    List.iter
+      (fun (routing, per_set) ->
+        let count f = List.length (List.filter (fun (_, r) -> f r) per_set) in
+        let acyclic = count snd and legal = count fst in
+        let pr3_legal, pr3_acyclic = List.assoc "pr3-two-fault" per_set in
+        Printf.printf
+          "  %-10s  %2d/%d acyclic  %2d/%d fully turn-legal  (pr3 two-fault: \
+           %s, %s)\n"
+          (Turn_model.name routing) acyclic (List.length per_set) legal
+          (List.length per_set)
+          (if pr3_acyclic then "acyclic" else "cyclic")
+          (if pr3_legal then "turn-legal" else "BFS fallback"))
+      survival;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"schema\": \"nocsched/bench-routing/v1\",\n";
+    Buffer.add_string buf "  \"proof_mesh\": \"8x8\",\n";
+    Buffer.add_string buf "  \"proofs\": [\n";
+    List.iteri
+      (fun i (routing, ms, diags, channels, deps) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"routing\": \"%s\", \"wall_ms\": %.3f, \"diagnostics\": %d, \
+              \"channels\": %d, \"dependencies\": %d}%s\n"
+             (Turn_model.name routing) ms diags channels deps
+             (if i < List.length proofs - 1 then "," else "")))
+      proofs;
+    Buffer.add_string buf "  ],\n";
+    Buffer.add_string buf "  \"campaign_mesh\": \"4x4\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"fault_sets\": %d,\n" (List.length fault_sets));
+    Buffer.add_string buf "  \"survival\": [\n";
+    List.iteri
+      (fun i (routing, per_set) ->
+        let count f = List.length (List.filter (fun (_, r) -> f r) per_set) in
+        let pr3_legal, pr3_acyclic = List.assoc "pr3-two-fault" per_set in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"routing\": \"%s\", \"acyclic\": %d, \"turn_legal\": %d, \
+              \"total\": %d, \"pr3_acyclic\": %b, \"pr3_turn_legal\": %b}%s\n"
+             (Turn_model.name routing) (count snd) (count fst)
+             (List.length per_set) pr3_acyclic pr3_legal
+             (if i < List.length survival - 1 then "," else "")))
+      survival;
+    Buffer.add_string buf "  ],\n";
+    let proofs_clean = List.for_all (fun (_, _, d, _, _) -> d = 0) proofs in
+    let legal_implies_acyclic =
+      List.for_all
+        (fun (_, per_set) ->
+          List.for_all (fun (_, (legal, acyclic)) -> (not legal) || acyclic)
+            per_set)
+        survival
+    in
+    let pr3_legal, pr3_acyclic =
+      List.assoc "pr3-two-fault" (List.assoc Turn_model.West_first survival)
+    in
+    let pr3_solved = pr3_legal && pr3_acyclic in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"gate\": {\"proofs_clean\": %b, \"legal_implies_acyclic\": %b, \
+          \"pr3_solved_by_west_first\": %b}\n"
+         proofs_clean legal_implies_acyclic pr3_solved);
+    Buffer.add_string buf "}\n";
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    Printf.printf "wrote %s\n" file;
+    if not proofs_clean then begin
+      Printf.eprintf
+        "bench gate FAILED: a turn-model relation proof on the 8x8 mesh \
+         reported diagnostics\n";
+      exit 1
+    end;
+    if not legal_implies_acyclic then begin
+      Printf.eprintf
+        "bench gate FAILED: a fully turn-legal degraded route set has a \
+         cyclic CDG (turn-model theorem violated)\n";
+      exit 1
+    end;
+    if not pr3_solved then begin
+      Printf.eprintf
+        "bench gate FAILED: west-first no longer solves the PR-3 two-fault \
+         case (turn-legal %b, acyclic %b)\n"
+        pr3_legal pr3_acyclic;
+      exit 1
+    end
+end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (match args with
@@ -904,7 +1113,7 @@ let () =
     [
       "fig5"; "fig6"; "tab1"; "tab2"; "tab3"; "fig7"; "split"; "ablation"; "topo";
       "weights"; "repairmoves"; "dvs"; "baselines"; "buffering"; "faults";
-      "parallel"; "obs"; "serve";
+      "parallel"; "obs"; "serve"; "routing";
     ]
   in
   let wanted = if wanted = [] then all else wanted in
@@ -936,6 +1145,9 @@ let () =
       | "serve" ->
         section "Scheduling service: cache-hit latency and reschedule gate";
         Serve_bench.run "BENCH_serve.json"
+      | "routing" ->
+        section "Turn-model routing: relation proofs and detour survivability";
+        Routing_bench.run "BENCH_routing.json"
       | "micro" -> micro ()
       | other ->
         Printf.eprintf "unknown experiment %S (known: %s micro)\n" other

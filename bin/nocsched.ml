@@ -33,6 +33,23 @@ let seed_arg =
   Arg.(value & opt int 0 & info [ "seed" ] ~docv:"SEED"
          ~doc:"Random seed (generation is deterministic per seed).")
 
+let routing_conv =
+  let parse s =
+    match Noc_noc.Turn_model.of_string s with
+    | Ok m -> Ok m
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Noc_noc.Turn_model.pp)
+
+let routing_arg =
+  Arg.(value & opt routing_conv Noc_noc.Turn_model.Xy
+       & info [ "routing" ] ~docv:"ROUTING"
+           ~doc:"Routing function of the mesh platform: $(b,xy) (deterministic \
+                 dimension order), $(b,west-first) or $(b,odd-even) (adaptive \
+                 turn models, proved deadlock-free over their whole admissible \
+                 route relation). Adaptive platforms keep fault detours inside \
+                 the turn-legal set.")
+
 let tasks_arg =
   Arg.(value & opt int 60 & info [ "tasks" ] ~docv:"N" ~doc:"Number of tasks.")
 
@@ -118,23 +135,28 @@ let load_ctg path =
   | Error msg -> failwith (label ^ ": " ^ msg)
   | Ok ctg -> ctg
 
-let platform_for_ctg ~mesh ctg =
+let platform_for_ctg ~mesh ~routing ctg =
   let cols, rows = mesh in
-  let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows () in
+  let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~routing ~cols ~rows () in
   if Noc_ctg.Ctg.n_pes ctg <> Noc_noc.Platform.n_pes platform then
     failwith "graph PE count does not match --mesh";
   platform
 
-let platform_and_ctg spec ~mesh ~tasks ~tightness =
+let platform_and_ctg spec ~mesh ~tasks ~tightness ~routing =
   match spec with
   | Tgff seed ->
     let cols, rows = mesh in
-    let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows () in
+    let platform =
+      Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~routing ~cols ~rows ()
+    in
     let params =
       { Noc_tgff.Params.default with n_tasks = tasks; deadline_tightness = tightness }
     in
     (platform, Noc_tgff.Generate.generate ~params ~platform ~seed)
   | Msb (which, clip) ->
+    if routing <> Noc_noc.Turn_model.Xy then
+      failwith "--routing applies to the generated mesh platforms; the MSB \
+                benchmark platforms are fixed (xy)";
     ( Noc_experiments.Msb_tables.platform_of which,
       Noc_experiments.Msb_tables.graph_of which ~clip )
 
@@ -314,8 +336,8 @@ let schedule_cmd =
              ~doc:"Fan the EAS candidate evaluations out over N domains. The \
                    schedule is bit-identical at every job count.")
   in
-  let run spec algo mesh tasks tightness gantt input save utilization svg file jobs
-      obs =
+  let run spec algo mesh tasks tightness routing gantt input save utilization svg
+      file jobs obs =
     with_obs obs @@ fun () ->
     (match jobs with
     | Some n when n < 1 -> failwith "--jobs must be at least 1"
@@ -323,10 +345,10 @@ let schedule_cmd =
     let input = match file with Some _ -> file | None -> input in
     let platform, ctg =
       match input with
-      | None -> platform_and_ctg spec ~mesh ~tasks ~tightness
+      | None -> platform_and_ctg spec ~mesh ~tasks ~tightness ~routing
       | Some path ->
         let ctg = load_ctg path in
-        (platform_for_ctg ~mesh ctg, ctg)
+        (platform_for_ctg ~mesh ~routing ctg, ctg)
     in
     (* One scheduler run serves metrics, outputs and the decision log
        alike — a second run would duplicate every --decisions record
@@ -375,8 +397,8 @@ let schedule_cmd =
     (Cmd.info "schedule" ~doc:"Schedule a benchmark and print its metrics.")
     Term.(term_result
             (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
-             $ gantt_arg $ input_arg $ save_arg $ utilization_arg $ svg_arg
-             $ file_arg $ jobs_arg $ obs_term))
+             $ routing_arg $ gantt_arg $ input_arg $ save_arg $ utilization_arg
+             $ svg_arg $ file_arg $ jobs_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -420,15 +442,15 @@ let simulate_cmd =
     Format.printf "%s: %d deadline misses, %d lost tasks, blocked %.1f@." label misses
       lost outcome.Noc_sim.Executor.waiting_time
   in
-  let run spec algo mesh tasks tightness input self_timed fault_specs reschedule
-      criticality obs =
+  let run spec algo mesh tasks tightness routing input self_timed fault_specs
+      reschedule criticality obs =
     with_obs obs @@ fun () ->
     let platform, ctg =
       match input with
-      | None -> platform_and_ctg spec ~mesh ~tasks ~tightness
+      | None -> platform_and_ctg spec ~mesh ~tasks ~tightness ~routing
       | Some path ->
         let ctg = load_ctg path in
-        (platform_for_ctg ~mesh ctg, ctg)
+        (platform_for_ctg ~mesh ~routing ctg, ctg)
     in
     let schedule = Noc_experiments.Runner.schedule_of algo platform ctg in
     let discipline =
@@ -490,7 +512,7 @@ let simulate_cmd =
              faults.")
     Term.(term_result
             (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
-             $ input_arg $ self_timed_arg $ fault_arg $ reschedule_arg
+             $ routing_arg $ input_arg $ self_timed_arg $ fault_arg $ reschedule_arg
              $ criticality_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
@@ -527,25 +549,29 @@ let analyze_cmd =
     Arg.(value & opt (some string) None
          & info [ "json" ] ~docv:"FILE"
              ~doc:"Write the diagnostics as a machine-readable JSON report (schema \
-                   $(b,nocsched/analysis/v1)).")
+                   $(b,nocsched/analysis/v2); the header records the analyzed \
+                   routing function and fault set, and is otherwise a strict \
+                   superset of v1).")
   in
-  let run spec mesh tasks tightness ctg_file platform_only schedule_file fault_specs
-      json =
+  let run spec mesh tasks tightness routing ctg_file platform_only schedule_file
+      fault_specs json =
     match Noc_fault.Fault_set.of_strings fault_specs with
     | Error msg -> Error (`Msg msg)
     | Ok faults ->
       let platform, ctg =
         if platform_only then begin
           let cols, rows = mesh in
-          (Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows (), None)
+          (Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~routing ~cols ~rows (), None)
         end
         else
           match ctg_file with
           | Some path ->
             let ctg = load_ctg path in
-            (platform_for_ctg ~mesh ctg, Some ctg)
+            (platform_for_ctg ~mesh ~routing ctg, Some ctg)
           | None ->
-            let platform, ctg = platform_and_ctg spec ~mesh ~tasks ~tightness in
+            let platform, ctg =
+              platform_and_ctg spec ~mesh ~tasks ~tightness ~routing
+            in
             (platform, Some ctg)
       in
       let deadlock =
@@ -557,9 +583,9 @@ let analyze_cmd =
       let ctg_diags =
         match ctg with None -> [] | Some ctg -> Noc_analysis.Ctg_lint.check ctg
       in
-      let certifier_diags =
+      let certifier_diags, qos_report =
         match (schedule_file, ctg) with
-        | None, _ -> []
+        | None, _ -> ([], None)
         | Some _, None -> failwith "--schedule needs a task graph (omit --platform)"
         | Some path, Some ctg -> (
           match Noc_sched.Schedule_io.load ~path platform ctg with
@@ -569,7 +595,13 @@ let analyze_cmd =
               (Noc_sched.Metrics.compute platform ctg schedule)
                 .Noc_sched.Metrics.total_energy
             in
-            Noc_analysis.Certify.check ~claimed_energy:claimed platform ctg schedule)
+            let qos =
+              Noc_analysis.Qos.check platform
+                (Noc_analysis.Qos.flows_of_schedule ctg schedule)
+            in
+            ( Noc_analysis.Certify.check ~claimed_energy:claimed platform ctg schedule
+              @ qos.Noc_analysis.Qos.diagnostics,
+              Some qos ))
       in
       let diagnostics =
         Noc_analysis.Diagnostic.sort
@@ -587,6 +619,30 @@ let analyze_cmd =
       List.iter
         (fun d -> Format.printf "%a@." Noc_analysis.Diagnostic.pp d)
         diagnostics;
+      Option.iter
+        (fun (qos : Noc_analysis.Qos.report) ->
+          let loaded =
+            List.filter (fun (l : Noc_analysis.Qos.link_load) -> l.allocated > 0.)
+              qos.loads
+          in
+          let busiest =
+            List.stable_sort
+              (fun a b ->
+                compare (Noc_analysis.Qos.utilization b) (Noc_analysis.Qos.utilization a))
+              loaded
+          in
+          Format.printf "qos: %d/%d links loaded%s@." (List.length loaded)
+            (List.length qos.loads)
+            (match busiest with
+            | [] -> ""
+            | top ->
+              "; busiest "
+              ^ String.concat ", "
+                  (List.filteri (fun i _ -> i < 3) top
+                  |> List.map (fun (l : Noc_analysis.Qos.link_load) ->
+                         Format.asprintf "%a at %.0f%%" Noc_noc.Routing.pp_link l.link
+                           (100. *. Noc_analysis.Qos.utilization l)))))
+        qos_report;
       let errors, warnings, infos = Noc_analysis.Diagnostic.count diagnostics in
       if diagnostics = [] then Format.printf "analysis clean@."
       else
@@ -597,7 +653,10 @@ let analyze_cmd =
           Fun.protect
             ~finally:(fun () -> close_out oc)
             (fun () ->
-              output_string oc (Noc_analysis.Diagnostic.to_json diagnostics)))
+              output_string oc
+                (Noc_analysis.Diagnostic.to_json
+                   ~routing:(Noc_noc.Turn_model.name routing)
+                   ~faults:fault_specs diagnostics)))
         json;
       (* Lint-style exit status: 0 clean, 1 warnings, 2 errors. *)
       (match Noc_analysis.Diagnostic.exit_code diagnostics with
@@ -614,8 +673,9 @@ let analyze_cmd =
              independent schedule certifier. Exits 0 when clean, 1 on warnings, 2 \
              on errors.")
     Term.(term_result
-            (const run $ bench_arg $ mesh_arg $ tasks_arg $ tightness_arg $ ctg_arg
-             $ platform_arg $ schedule_arg $ fault_arg $ json_arg))
+            (const run $ bench_arg $ mesh_arg $ tasks_arg $ tightness_arg
+             $ routing_arg $ ctg_arg $ platform_arg $ schedule_arg $ fault_arg
+             $ json_arg))
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                          *)

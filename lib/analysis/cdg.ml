@@ -9,36 +9,34 @@ type t = {
   succs : int list array;  (* sorted successor channel indices *)
 }
 
-let of_routes routes =
-  let index : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
-  let rev_channels = ref [] in
-  let n = ref 0 in
-  let id_of pair =
-    match Hashtbl.find_opt index pair with
-    | Some i -> i
-    | None ->
-      let i = !n in
-      incr n;
-      Hashtbl.add index pair i;
-      rev_channels := pair :: !rev_channels;
-      i
-  in
-  let deps : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
-  List.iter
-    (fun route ->
-      let rec walk = function
-        | a :: (b :: c :: _ as rest) ->
-          let la = id_of (a, b) and lb = id_of (b, c) in
-          if not (Hashtbl.mem deps (la, lb)) then Hashtbl.add deps (la, lb) ();
-          walk rest
-        | [ a; b ] -> ignore (id_of (a, b))
-        | [ _ ] | [] -> ()
-      in
-      walk route)
-    routes;
-  (* Renumber the channels canonically so that equal route sets yield
-     identical graphs regardless of route order. *)
-  let channels = Array.of_list (List.rev !rev_channels) in
+(* Shared builder: channels are interned on first sight, dependency
+   arcs deduplicated, and everything renumbered canonically at the end
+   so that equal channel/dependency sets yield identical graphs
+   regardless of insertion order. *)
+type builder = {
+  index : (int * int, int) Hashtbl.t;
+  mutable rev_channels : (int * int) list;
+  mutable count : int;
+  deps : (int * int, unit) Hashtbl.t;
+}
+
+let builder () =
+  { index = Hashtbl.create 64; rev_channels = []; count = 0; deps = Hashtbl.create 64 }
+
+let id_of b pair =
+  match Hashtbl.find_opt b.index pair with
+  | Some i -> i
+  | None ->
+    let i = b.count in
+    b.count <- i + 1;
+    Hashtbl.add b.index pair i;
+    b.rev_channels <- pair :: b.rev_channels;
+    i
+
+let add_dep b la lb = if not (Hashtbl.mem b.deps (la, lb)) then Hashtbl.add b.deps (la, lb) ()
+
+let finalize b =
+  let channels = Array.of_list (List.rev b.rev_channels) in
   let order = Array.init (Array.length channels) Fun.id in
   Array.sort (fun i j -> compare channels.(i) channels.(j)) order;
   let rank = Array.make (Array.length channels) 0 in
@@ -47,9 +45,60 @@ let of_routes routes =
   let succs = Array.make (Array.length channels) [] in
   Hashtbl.iter
     (fun (a, b) () -> succs.(rank.(a)) <- rank.(b) :: succs.(rank.(a)))
-    deps;
+    b.deps;
   Array.iteri (fun i l -> succs.(i) <- List.sort_uniq compare l) succs;
   { channels = sorted_channels; succs }
+
+let of_routes routes =
+  let b = builder () in
+  List.iter
+    (fun route ->
+      let rec walk = function
+        | a :: (b' :: c :: _ as rest) ->
+          add_dep b (id_of b (a, b')) (id_of b (b', c));
+          walk rest
+        | [ a; b' ] -> ignore (id_of b (a, b'))
+        | [ _ ] | [] -> ()
+      in
+      walk route)
+    routes;
+  finalize b
+
+(* CDG of a route *relation*: for every ordered pair, walk the forward
+   closure of the admissible next hops from [src] and record a channel
+   per admissible hop and a dependency per admissible consecutive hop
+   pair. This covers every route the relation admits without ever
+   enumerating them (an adaptive model can admit exponentially many
+   routes per pair, e.g. C(14,7) minimal routes across an 8x8 mesh),
+   because a dependency a->b->c exists iff b is admissible at a and c
+   admissible at b — exactly the local facts the closure visits. *)
+let of_relation ~n_nodes ~next =
+  let b = builder () in
+  for src = 0 to n_nodes - 1 do
+    for dst = 0 to n_nodes - 1 do
+      if src <> dst then begin
+        let seen = Array.make n_nodes false in
+        let queue = Queue.create () in
+        seen.(src) <- true;
+        Queue.add src queue;
+        while not (Queue.is_empty queue) do
+          let v = Queue.pop queue in
+          if v <> dst then
+            List.iter
+              (fun a ->
+                let la = id_of b (v, a) in
+                if a <> dst then
+                  List.iter (fun c -> add_dep b la (id_of b (a, c))) (next ~src ~dst ~node:a);
+                if not seen.(a) then begin
+                  seen.(a) <- true;
+                  Queue.add a queue
+                end)
+              (next ~src ~dst ~node:v)
+        done
+      end
+    done
+  done;
+  finalize b
 
 let n_channels t = Array.length t.channels
 

@@ -18,6 +18,20 @@ val of_routes : int list list -> t
     dependencies are kept in first-seen order but compared canonically
     by endpoint pair. *)
 
+val of_relation :
+  n_nodes:int -> next:(src:int -> dst:int -> node:int -> int list) -> t
+(** Builds the CDG of a route {e relation}: [next ~src ~dst ~node] must
+    enumerate the admissible next hops at [node] when routing
+    [src -> dst] (empty exactly at [dst]). For every ordered pair the
+    forward closure of the relation is walked, recording one channel
+    per admissible hop and one dependency per admissible consecutive
+    hop pair — covering all routes the relation admits without
+    enumerating them (adaptive models admit exponentially many).
+    Acyclicity of the result therefore proves the {e whole} adaptive
+    routing function deadlock-free, not just one route per pair. For a
+    single-valued relation this coincides with {!of_routes} over the
+    per-pair routes. Deterministic and canonical like {!of_routes}. *)
+
 val n_channels : t -> int
 (** Channels used by at least one route. *)
 

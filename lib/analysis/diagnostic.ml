@@ -7,6 +7,7 @@ type location =
   | Pe of int
   | Tile of int
   | Link of Noc_noc.Routing.link
+  | Route of int list
   | Channel_cycle of Noc_noc.Routing.link list
 
 type t = {
@@ -35,6 +36,8 @@ let location_to_string = function
   | Pe p -> Printf.sprintf "pe %d" p
   | Tile t -> Printf.sprintf "tile %d" t
   | Link l -> Printf.sprintf "link %s" (link_to_string l)
+  | Route nodes ->
+    Printf.sprintf "route %s" (String.concat "->" (List.map string_of_int nodes))
   | Channel_cycle links ->
     Printf.sprintf "channels %s" (String.concat " => " (List.map link_to_string links))
 
@@ -89,12 +92,18 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let to_json diagnostics =
+let to_json ?(routing = "xy") ?(faults = []) diagnostics =
   let diagnostics = sort diagnostics in
   let errors, warnings, infos = count diagnostics in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"nocsched/analysis/v1\",\n";
+  Buffer.add_string buf "  \"schema\": \"nocsched/analysis/v2\",\n";
+  Buffer.add_string buf (Printf.sprintf "  \"routing\": \"%s\",\n" (json_escape routing));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"faults\": {\"count\": %d, \"elements\": [%s]},\n"
+       (List.length faults)
+       (String.concat ", "
+          (List.map (fun f -> Printf.sprintf "\"%s\"" (json_escape f)) faults)));
   Buffer.add_string buf "  \"diagnostics\": [\n";
   List.iteri
     (fun i d ->

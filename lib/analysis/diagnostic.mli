@@ -16,6 +16,9 @@ type location =
   | Pe of int
   | Tile of int
   | Link of Noc_noc.Routing.link
+  | Route of int list
+      (** A concrete route (tile sequence), used as the counterexample
+          witness of the [routing/*] rules. *)
   | Channel_cycle of Noc_noc.Routing.link list
       (** A cyclic chain of channel dependencies; the first link is
           repeated implicitly after the last. *)
@@ -48,7 +51,12 @@ val exit_code : t list -> int
 val pp : Format.formatter -> t -> unit
 (** ["severity rule [location]: message"]. *)
 
-val to_json : t list -> string
-(** The machine-readable report (schema [nocsched/analysis/v1]):
+val to_json : ?routing:string -> ?faults:string list -> t list -> string
+(** The machine-readable report (schema [nocsched/analysis/v2]):
     diagnostics in {!sort} order plus an error/warning/info summary.
-    Documented in DESIGN.md §7. *)
+    The v2 header records the analyzed routing function ([routing],
+    default ["xy"]) and a fault-set summary ([faults], the canonical
+    fault strings the analysis ran under, default empty). v2 is a
+    strict superset of v1 — diagnostics and summary are unchanged — so
+    v1 readers that ignore unknown top-level fields keep working.
+    Documented in DESIGN.md §7 and §12. *)

@@ -19,16 +19,38 @@ let check ?ctg platform =
           (Diagnostic.error ~rule:"platform/unreachable-tile" (Diagnostic.Tile tile)
              "no chain of links connects this tile to tile 0"))
     distances;
-  (* Links the deterministic routing discipline never exercises. *)
+  (* Links the routing discipline never exercises. On adaptive
+     platforms the whole admissible relation counts, not just the
+     canonical route per pair — a channel only some alternative route
+     uses is not dead silicon. *)
   if Array.for_all (fun d -> d >= 0) distances then begin
     let n = Platform.n_pes platform in
+    let routing = Platform.routing platform in
     let used = Hashtbl.create 64 in
+    let mark (l : Routing.link) = Hashtbl.replace used (l.from_node, l.to_node) () in
     for src = 0 to n - 1 do
       for dst = 0 to n - 1 do
         if src <> dst then
-          List.iter
-            (fun (l : Routing.link) -> Hashtbl.replace used (l.from_node, l.to_node) ())
-            (Platform.route_links platform ~src ~dst)
+          if Noc_noc.Turn_model.is_adaptive routing then begin
+            (* Forward closure of the relation: every admissible hop of
+               every reachable node is an exercised channel. *)
+            let seen = Array.make n false in
+            let queue = Queue.create () in
+            seen.(src) <- true;
+            Queue.add src queue;
+            while not (Queue.is_empty queue) do
+              let v = Queue.pop queue in
+              List.iter
+                (fun a ->
+                  mark { Routing.from_node = v; to_node = a };
+                  if not seen.(a) then begin
+                    seen.(a) <- true;
+                    Queue.add a queue
+                  end)
+                (Noc_noc.Turn_model.next_hops routing topology ~src ~node:v ~dst)
+            done
+          end
+          else List.iter mark (Platform.route_links platform ~src ~dst)
       done
     done;
     List.iter
@@ -36,7 +58,8 @@ let check ?ctg platform =
         if not (Hashtbl.mem used (l.from_node, l.to_node)) then
           add
             (Diagnostic.info ~rule:"platform/unused-link" (Diagnostic.Link l)
-               "no deterministic route uses this channel"))
+               "no admissible %s route uses this channel"
+               (Noc_noc.Turn_model.name routing)))
       (Routing.all_links topology)
   end;
   (match ctg with

@@ -1,0 +1,196 @@
+(* Per-link bandwidth-guarantee feasibility (after Even & Fais,
+   "Algorithms for NoC Design with Guaranteed QoS"). A flow is a
+   sustained rate between two tiles; the checker splits each flow
+   across the admissible route set of the platform's routing function
+   and reports per-link utilization. XY gives the degenerate
+   single-path case — every flow rides its one route — while the
+   adaptive turn models can spread a flow over all of its minimal
+   turn-legal routes, so the feasible region grows with the relation.
+   The PR-3 bisection-bandwidth lint is the special case that only
+   aggregates over the midline cut; this checker accounts for every
+   directed link. *)
+
+type flow = { id : int; src : int; dst : int; rate : float }
+type link_load = { link : Noc_noc.Routing.link; capacity : float; allocated : float }
+type report = { loads : link_load list; diagnostics : Diagnostic.t list }
+
+let utilization l = l.allocated /. l.capacity
+
+(* Allocation is greedy per flow, in flow-id order: repeatedly send as
+   much as possible down the widest-residual-bottleneck admissible
+   route (ties to the smallest next hop), until the flow is placed or
+   every admissible route is saturated. Each round saturates at least
+   one link of the flow's route DAG, so the loop is bounded by the DAG
+   size. The strategy is deterministic and, for a single-valued
+   relation, exact; for adaptive relations it is a water-filling
+   heuristic — a "feasible" verdict is always sound (the allocation is
+   a witness), an "infeasible" one names the saturated links that
+   block the remainder. *)
+let check platform flows =
+  let topo = Noc_noc.Platform.topology platform in
+  let routing = Noc_noc.Platform.routing platform in
+  let n = Noc_noc.Platform.n_pes platform in
+  let capacity = Noc_noc.Platform.link_bandwidth platform in
+  let eps = 1e-9 *. capacity in
+  let alloc = Array.make (n * n) 0. in
+  let residual u v = capacity -. alloc.((u * n) + v) in
+  (* Admissible next hops for a flow's pair: the routing relation on
+     meshes/tori, the single BFS route on honeycombs. *)
+  let next_hops ~src ~dst ~node =
+    match topo with
+    | Noc_noc.Topology.Honeycomb _ ->
+      if node = dst then []
+      else begin
+        (* Suffixes of a BFS route are not BFS routes of their own
+           source, so follow the full route of the pair. *)
+        let rec after = function
+          | a :: b :: _ when a = node -> [ b ]
+          | _ :: rest -> after rest
+          | [] -> []
+        in
+        after (Noc_noc.Routing.route topo ~src ~dst)
+      end
+    | Noc_noc.Topology.Mesh _ | Noc_noc.Topology.Torus _ ->
+      Noc_noc.Turn_model.next_hops routing topo ~src ~node ~dst
+  in
+  let diagnostics = ref [] in
+  let place (f : flow) =
+    if f.src <> f.dst && f.rate > 0. then begin
+      let remaining = ref f.rate in
+      let exhausted = ref false in
+      while !remaining > eps && not !exhausted do
+        (* Widest-bottleneck route over the flow's (acyclic, minimal)
+           route DAG: width of a node is the best over its admissible
+           hops of min(link residual, width of the hop target). *)
+        let width = Array.make n nan in
+        let choice = Array.make n (-1) in
+        let rec widest v =
+          if v = f.dst then infinity
+          else if not (Float.is_nan width.(v)) then width.(v)
+          else begin
+            let best = ref 0. and best_hop = ref (-1) in
+            List.iter
+              (fun a ->
+                let w = Float.min (residual v a) (widest a) in
+                if w > !best then begin
+                  best := w;
+                  best_hop := a
+                end)
+              (next_hops ~src:f.src ~dst:f.dst ~node:v);
+            width.(v) <- !best;
+            choice.(v) <- !best_hop;
+            !best
+          end
+        in
+        let w = widest f.src in
+        if w <= eps then exhausted := true
+        else begin
+          let amount = Float.min !remaining w in
+          let rec fill v =
+            if v <> f.dst then begin
+              let a = choice.(v) in
+              alloc.((v * n) + a) <- alloc.((v * n) + a) +. amount;
+              fill a
+            end
+          in
+          fill f.src;
+          remaining := !remaining -. amount
+        end
+      done;
+      if !remaining > eps then begin
+        (* Name the saturated links that block the remainder: every
+           admissible link of the pair's DAG with no residual left. *)
+        let saturated = ref [] in
+        let seen = Array.make n false in
+        let rec scan v =
+          if v <> f.dst && not seen.(v) then begin
+            seen.(v) <- true;
+            List.iter
+              (fun a ->
+                if residual v a <= eps then
+                  saturated :=
+                    { Noc_noc.Routing.from_node = v; to_node = a } :: !saturated;
+                scan a)
+              (next_hops ~src:f.src ~dst:f.dst ~node:v)
+          end
+        in
+        scan f.src;
+        let saturated = List.sort_uniq compare (List.rev !saturated) in
+        diagnostics :=
+          Diagnostic.error ~rule:"qos/infeasible-flow" (Diagnostic.Edge f.id)
+            "flow %d->%d needs %g bit/s but only %g fits the %s route set \
+             (saturated: %s)"
+            f.src f.dst f.rate (f.rate -. !remaining)
+            (Noc_noc.Turn_model.name routing)
+            (String.concat ", "
+               (List.map
+                  (Format.asprintf "%a" Noc_noc.Routing.pp_link)
+                  saturated))
+          :: !diagnostics;
+        (* Charge the unallocatable remainder to the canonical route so
+           the overload is visible as concrete per-link utilization. *)
+        List.iter
+          (fun (l : Noc_noc.Routing.link) ->
+            alloc.((l.from_node * n) + l.to_node) <-
+              alloc.((l.from_node * n) + l.to_node) +. !remaining)
+          (Noc_noc.Platform.route_links platform ~src:f.src ~dst:f.dst)
+      end
+    end
+  in
+  List.iter place (List.sort (fun a b -> compare a.id b.id) flows);
+  let loads =
+    List.map
+      (fun (l : Noc_noc.Routing.link) ->
+        { link = l; capacity; allocated = alloc.((l.from_node * n) + l.to_node) })
+      (Noc_noc.Platform.all_links platform)
+  in
+  let overloads =
+    List.filter_map
+      (fun l ->
+        if l.allocated > l.capacity +. eps then
+          Some
+            (Diagnostic.error ~rule:"qos/link-overload" (Diagnostic.Link l.link)
+               "link carries %g bit/s over capacity %g (utilization %.0f%%)"
+               l.allocated l.capacity
+               (100. *. utilization l))
+        else None)
+      loads
+  in
+  { loads; diagnostics = List.rev !diagnostics @ overloads }
+
+(* The sustained-rate abstraction of a schedule: every network
+   transaction's volume spread over the horizon — the latest task
+   deadline when the CTG has any (the window the rates must fit into
+   for the real-time guarantee), the makespan otherwise. *)
+let flows_of_schedule ?horizon ctg schedule =
+  let horizon =
+    match horizon with
+    | Some h ->
+      if not (h > 0.) then invalid_arg "Qos.flows_of_schedule: horizon must be positive";
+      h
+    | None ->
+      let deadline =
+        List.fold_left
+          (fun acc t ->
+            match (Noc_ctg.Ctg.tasks ctg).(t).Noc_ctg.Task.deadline with
+            | Some d -> Float.max acc d
+            | None -> acc)
+          0.
+          (Noc_ctg.Ctg.deadline_tasks ctg)
+      in
+      if deadline > 0. then deadline else Noc_sched.Schedule.makespan schedule
+  in
+  if not (horizon > 0.) then
+    invalid_arg "Qos.flows_of_schedule: schedule has no positive horizon";
+  Array.to_list (Noc_sched.Schedule.transactions schedule)
+  |> List.filter_map (fun (tx : Noc_sched.Schedule.transaction) ->
+         let volume = (Noc_ctg.Ctg.edges ctg).(tx.edge).Noc_ctg.Edge.volume in
+         if tx.src_pe = tx.dst_pe || volume <= 0. then None
+         else
+           Some
+             {
+               id = tx.edge;
+               src = tx.src_pe;
+               dst = tx.dst_pe;
+               rate = volume /. horizon;
+             })

@@ -1,0 +1,50 @@
+(** Per-link bandwidth-guarantee feasibility checker.
+
+    Models a workload as sustained flows (bit/s between tile pairs,
+    after Even & Fais, {e Algorithms for NoC Design with Guaranteed
+    QoS}), splits each flow across the admissible route set of the
+    platform's routing function by deterministic widest-bottleneck
+    water-filling, and reports per-link utilization plus lint-style
+    diagnostics. Under XY every flow rides its single route; under the
+    adaptive turn models a flow may be spread over all of its minimal
+    turn-legal routes, so feasibility grows with the relation. The
+    midline {!Platform_lint} bisection-bandwidth lint is the special
+    case of this check that aggregates only the midline cut. *)
+
+type flow = { id : int; src : int; dst : int; rate : float }
+(** A sustained communication demand of [rate] bits per time unit from
+    tile [src] to tile [dst]. [id] anchors diagnostics (the CTG edge id
+    when flows come from a schedule). *)
+
+type link_load = { link : Noc_noc.Routing.link; capacity : float; allocated : float }
+
+type report = { loads : link_load list; diagnostics : Diagnostic.t list }
+(** [loads] covers every directed link of the platform in
+    {!Noc_noc.Platform.all_links} order, including idle ones. *)
+
+val utilization : link_load -> float
+(** [allocated / capacity]; above [1.] only when the flow set is
+    infeasible. *)
+
+val check : Noc_noc.Platform.t -> flow list -> report
+(** Allocates flows in flow-id order, each by widest-residual-bottleneck
+    water-filling over its admissible route DAG (smallest-hop ties), and
+    reports:
+    - [qos/infeasible-flow] (error, at the flow's edge id) when a flow's
+      rate does not fit the residual admissible route set; the message
+      names the saturated links that block it, and the unallocatable
+      remainder is charged to the canonical route so the overload shows
+      up as concrete link utilization;
+    - [qos/link-overload] (error, at the link) for every link driven
+      over capacity that way.
+    A clean report is a feasibility witness: the allocation realises
+    every flow within every link's capacity. Deterministic. *)
+
+val flows_of_schedule :
+  ?horizon:float -> Noc_ctg.Ctg.t -> Noc_sched.Schedule.t -> flow list
+(** One flow per network transaction with positive volume: rate =
+    volume / horizon, where [horizon] defaults to the latest task
+    deadline of the CTG (the window the rates must fit into for the
+    real-time guarantee) or, when no task carries a deadline, the
+    schedule makespan. Raises [Invalid_argument] on a non-positive
+    horizon. *)

@@ -4,13 +4,20 @@
    degradation only removes links from the routing graph and PEs from
    the set of legal execution targets.
 
-   Routes prefer the platform's deterministic route when it survives;
-   otherwise a deterministic minimal detour is computed by per-source
-   breadth-first search over the surviving links (smallest-index parent,
-   the same tie-break the honeycomb routing uses). Both the per-source
-   parent trees and the per-(src, dst) route records are memoised in the
-   view, so one view per fault set gives the scheduler the same O(1)
-   repeated-probe cost as the fault-free route table. *)
+   Routes prefer the platform's canonical route when it survives.
+   Otherwise, on platforms with an adaptive turn model, a detour is
+   searched inside the model's turn-legal walk set first: a BFS over
+   (node, entry-direction) states whose transitions are exactly the
+   permitted turns. Such a detour may be non-minimal, but by the
+   turn-model theorem the route set stays free of circular waits — the
+   analyzer can prove the degraded CDG acyclic instead of flagging it.
+   Only when no turn-legal route survives (or the platform routes XY,
+   whose turn rules admit a single route per pair) does the view fall
+   back to the unrestricted deterministic minimal BFS detour
+   (smallest-index parent, the same tie-break the honeycomb routing
+   uses). All parent tables and per-(src, dst) route records are
+   memoised in the view, so one view per fault set gives the scheduler
+   the same O(1) repeated-probe cost as the fault-free route table. *)
 
 type route_info = { nodes : int list; links : Routing.link list; n_hops : int }
 
@@ -19,6 +26,10 @@ type t = {
   dead_pes : bool array;
   dead_links : bool array; (* indexed from * n + to *)
   parents : int array option array; (* per-source BFS parents, on demand *)
+  (* Per-source turn-legal state BFS: distance and parent per
+     (node, entry-node) state, indexed node * (n + 1) + entry + 1 where
+     entry = -1 marks the search root. Adaptive platforms only. *)
+  legal : (int array * int array) option array;
   route_cache : route_info option option array; (* None = not computed *)
 }
 
@@ -42,6 +53,7 @@ let make platform ~failed_pes ~failed_links =
     dead_pes;
     dead_links;
     parents = Array.make n None;
+    legal = Array.make n None;
     route_cache = Array.make (n * n) None;
   }
 
@@ -101,6 +113,69 @@ let bfs_parents t src =
     t.parents.(src) <- Some parents;
     parents
 
+(* Turn-legal detour search for adaptive platforms: BFS over
+   (node, entry-node) states where a transition u -> v exists when the
+   link survives and the turn entry -> u -> v is permitted by the
+   platform's turn model. The state split matters: whether v is usable
+   from u depends on how u was entered, so plain node BFS would both
+   miss legal routes and accept illegal ones. First-discovery order is
+   deterministic (FIFO queue, canonical neighbour order), and detours
+   found here may exceed the minimal hop count — legality, not
+   minimality, is what keeps the degraded CDG acyclic. *)
+let legal_states t src =
+  match t.legal.(src) with
+  | Some tables -> tables
+  | None ->
+    let topo = Platform.topology t.platform
+    and routing = Platform.routing t.platform
+    and n = Array.length t.dead_pes in
+    let state node entry = (node * (n + 1)) + entry + 1 in
+    let dist = Array.make (n * (n + 1)) (-1)
+    and parent = Array.make (n * (n + 1)) (-1) in
+    let queue = Queue.create () in
+    dist.(state src (-1)) <- 0;
+    Queue.add (src, -1) queue;
+    while not (Queue.is_empty queue) do
+      let u, entry = Queue.pop queue in
+      let here = state u entry in
+      List.iter
+        (fun v ->
+          if
+            (not t.dead_links.((u * n) + v))
+            && (entry < 0 || Turn_model.turn_legal routing topo ~prev:entry ~via:u ~next:v)
+            && dist.(state v u) < 0
+          then begin
+            dist.(state v u) <- dist.(here) + 1;
+            parent.(state v u) <- here;
+            Queue.add (v, u) queue
+          end)
+        (Topology.neighbours topo u)
+    done;
+    t.legal.(src) <- Some (dist, parent);
+    (dist, parent)
+
+let turn_legal_detour t ~src ~dst =
+  if src = dst then Some [ src ]
+  else begin
+    let n = Array.length t.dead_pes in
+    let dist, parent = legal_states t src in
+    (* Shortest turn-legal arrival at [dst], ties to the smallest entry
+       node, keeps the extraction canonical. *)
+    let best = ref (-1) in
+    for entry = 0 to n - 1 do
+      let s = (dst * (n + 1)) + entry + 1 in
+      if dist.(s) >= 0 && (!best < 0 || dist.(s) < dist.(!best)) then best := s
+    done;
+    if !best < 0 then None
+    else begin
+      let rec walk s acc =
+        let node = s / (n + 1) in
+        if parent.(s) < 0 then node :: acc else walk parent.(s) (node :: acc)
+      in
+      Some (walk !best [])
+    end
+  end
+
 let detour_route t ~src ~dst =
   if src = dst then Some [ src ]
   else begin
@@ -124,7 +199,16 @@ let route_info t ~src ~dst =
     let default_links = Platform.route_links t.platform ~src ~dst in
     let nodes =
       if List.for_all (link_alive t) default_links then Some default_nodes
-      else detour_route t ~src ~dst
+      else
+        match Platform.routing t.platform with
+        | Turn_model.Xy ->
+          (* XY's turn rules admit exactly one route per pair — the dead
+             one — so go straight to the unrestricted BFS detour. *)
+          detour_route t ~src ~dst
+        | Turn_model.West_first | Turn_model.Odd_even ->
+          (match turn_legal_detour t ~src ~dst with
+          | Some nodes -> Some nodes
+          | None -> detour_route t ~src ~dst)
     in
     let info =
       Option.map

@@ -5,12 +5,20 @@
     flits). Routers of failed PEs keep routing, so only links disappear
     from the routing graph.
 
-    Routes keep the platform's deterministic route wherever it survives
-    and otherwise fall back to a deterministic minimal detour found by
-    per-source BFS over the surviving links (smallest-index parent, the
-    honeycomb tie-break). Parent trees and per-[(src, dst)] routes are
-    memoised in the view, so repeated probes cost one array read —
-    the fault-set-keyed analogue of {!Platform.route}'s memo table. *)
+    Routes keep the platform's canonical route wherever it survives.
+    On platforms with an adaptive turn model ({!Platform.routing}),
+    detours are searched inside the model's turn-legal walk set first —
+    a BFS over (node, entry-direction) states whose transitions are the
+    permitted turns — so the degraded route set stays deadlock-free by
+    the turn-model theorem (possibly at the cost of extra hops). Only
+    when no turn-legal route survives, or on XY platforms (whose turn
+    rules admit a single route per pair), does the view fall back to
+    the unrestricted deterministic minimal BFS detour (smallest-index
+    parent, the honeycomb tie-break) — which carries no deadlock
+    guarantee and is what {!Noc_analysis.Deadlock} flags. Parent
+    tables and per-[(src, dst)] routes are memoised in the view, so
+    repeated probes cost one array read — the fault-set-keyed analogue
+    of {!Platform.route}'s memo table. *)
 
 type t
 

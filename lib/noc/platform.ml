@@ -9,11 +9,12 @@ type t = {
   energy : Energy_model.t;
   link_bandwidth : float;
   router_latency : float;
+  routing : Turn_model.t;
   route_cache : route_info option array; (* indexed by src * n + dst *)
 }
 
 let make ~topology ~pes ?(energy = Energy_model.default) ?(link_bandwidth = 3200.)
-    ?(router_latency = 0.) () =
+    ?(router_latency = 0.) ?(routing = Turn_model.Xy) () =
   if Array.length pes <> Topology.n_nodes topology then
     invalid_arg "Platform.make: one PE per tile required";
   Array.iteri
@@ -24,6 +25,10 @@ let make ~topology ~pes ?(energy = Energy_model.default) ?(link_bandwidth = 3200
     invalid_arg "Platform.make: bandwidth must be positive";
   if not (router_latency >= 0.) then
     invalid_arg "Platform.make: router latency must be non-negative";
+  if Turn_model.is_adaptive routing && not (Turn_model.supports routing topology) then
+    invalid_arg
+      (Printf.sprintf "Platform.make: %s routing is defined on meshes only"
+         (Turn_model.name routing));
   let n = Array.length pes in
   {
     topology;
@@ -31,10 +36,12 @@ let make ~topology ~pes ?(energy = Energy_model.default) ?(link_bandwidth = 3200
     energy;
     link_bandwidth;
     router_latency;
+    routing;
     route_cache = Array.make (n * n) None;
   }
 
 let topology t = t.topology
+let routing t = t.routing
 let energy_model t = t.energy
 let n_pes t = Array.length t.pes
 let pe t i = t.pes.(i)
@@ -52,7 +59,15 @@ let route_info t ~src ~dst =
     info
   | None ->
     Noc_obs.Counters.incr c_memo_misses;
-    let nodes = Routing.route t.topology ~src ~dst in
+    (* XY keeps the original deterministic router (which also covers
+       honeycombs by BFS); adaptive models take the canonical smallest-
+       index route out of their admissible relation. *)
+    let nodes =
+      match t.routing with
+      | Turn_model.Xy -> Routing.route t.topology ~src ~dst
+      | (Turn_model.West_first | Turn_model.Odd_even) as m ->
+        Turn_model.route m t.topology ~src ~dst
+    in
     let info =
       {
         nodes;
@@ -75,10 +90,12 @@ let warm_routes t =
   done
 
 (* Canonical serialization for the content digest: everything that
-   influences routes, durations or energies — topology, the PE
-   descriptors, the bit-energy model, bandwidth and router latency.
-   Hex floats keep it exact; the route memo is derived state and does
-   not participate, so a warmed and a cold platform digest equally. *)
+   influences routes, durations or energies — topology, the routing
+   function, the PE descriptors, the bit-energy model, bandwidth and
+   router latency. Hex floats keep it exact; the route memo is derived
+   state and does not participate, so a warmed and a cold platform
+   digest equally. v2 added the routing line so schedules cannot alias
+   across routing disciplines in the serve cache. *)
 let digest t =
   let buf = Buffer.create 256 in
   let topo_line =
@@ -87,7 +104,8 @@ let digest t =
     | Topology.Torus { cols; rows } -> Printf.sprintf "torus %d %d" cols rows
     | Topology.Honeycomb { cols; rows } -> Printf.sprintf "honeycomb %d %d" cols rows
   in
-  Buffer.add_string buf (Printf.sprintf "platform-digest/v1 %s\n" topo_line);
+  Buffer.add_string buf (Printf.sprintf "platform-digest/v2 %s\n" topo_line);
+  Buffer.add_string buf (Printf.sprintf "routing %s\n" (Turn_model.name t.routing));
   Buffer.add_string buf
     (Printf.sprintf "energy %h %h bandwidth %h latency %h\n" t.energy.Energy_model.e_sbit
        t.energy.Energy_model.e_lbit t.link_bandwidth t.router_latency);
@@ -134,7 +152,7 @@ let route_energy t ~route ~bits =
 
 let all_links t = Routing.all_links t.topology
 
-let heterogeneous ?(seed = 0) topology () =
+let heterogeneous ?(seed = 0) ?routing topology () =
   let rng = Noc_util.Prng.create ~seed:(seed lxor 0x6e6f63) in
   let pes =
     Array.init (Topology.n_nodes topology) (fun i ->
@@ -144,10 +162,10 @@ let heterogeneous ?(seed = 0) topology () =
         Pe.make ~index:i ~kind ~time_factor:(tf *. jitter ())
           ~power_factor:(pf *. jitter ()))
   in
-  make ~topology ~pes ()
+  make ~topology ~pes ?routing ()
 
-let heterogeneous_mesh ?seed ~cols ~rows () =
-  heterogeneous ?seed (Topology.mesh ~cols ~rows) ()
+let heterogeneous_mesh ?seed ?routing ~cols ~rows () =
+  heterogeneous ?seed ?routing (Topology.mesh ~cols ~rows) ()
 
 let homogeneous_mesh ~cols ~rows =
   let topology = Topology.mesh ~cols ~rows in
@@ -158,5 +176,10 @@ let homogeneous_mesh ~cols ~rows =
   make ~topology ~pes ()
 
 let pp ppf t =
-  Format.fprintf ppf "platform(%a, %d PEs, bw=%g)" Topology.pp t.topology
-    (n_pes t) t.link_bandwidth
+  match t.routing with
+  | Turn_model.Xy ->
+    Format.fprintf ppf "platform(%a, %d PEs, bw=%g)" Topology.pp t.topology
+      (n_pes t) t.link_bandwidth
+  | m ->
+    Format.fprintf ppf "platform(%a, %a routing, %d PEs, bw=%g)" Topology.pp
+      t.topology Turn_model.pp m (n_pes t) t.link_bandwidth

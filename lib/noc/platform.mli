@@ -15,6 +15,7 @@ val make :
   ?energy:Energy_model.t ->
   ?link_bandwidth:float ->
   ?router_latency:float ->
+  ?routing:Turn_model.t ->
   unit ->
   t
 (** [make ~topology ~pes ()] builds a platform. [pes] must contain one
@@ -23,10 +24,19 @@ val make :
     per cycle with the microsecond as time unit and a 100 MHz clock).
     [router_latency] (default [0.]) is the per-router head-flit pipeline
     delay added once per intermediate hop to every transaction's
-    duration. Raises [Invalid_argument] on mismatched PE arrays,
-    non-positive bandwidth or negative latency. *)
+    duration. [routing] (default {!Turn_model.Xy}) selects the routing
+    function; the adaptive turn models are mesh-only. Raises
+    [Invalid_argument] on mismatched PE arrays, non-positive bandwidth,
+    negative latency, or an adaptive model on a non-mesh topology. *)
 
 val topology : t -> Topology.t
+
+val routing : t -> Turn_model.t
+(** The platform's routing function. {!route} serves the canonical
+    deterministic route of that function; the analyzer proves the whole
+    admissible relation deadlock-free, and degraded views keep fault
+    detours inside the model's turn-legal set. *)
+
 val energy_model : t -> Energy_model.t
 val n_pes : t -> int
 val pe : t -> int -> Pe.t
@@ -45,11 +55,13 @@ val hops : t -> src:int -> dst:int -> int
 
 val digest : t -> string
 (** Stable content digest: FNV-1a ({!Noc_util.Fnv}) over a canonical
-    serialization of the topology, PE descriptors, bit-energy model,
-    bandwidth and router latency (floats rendered exactly). Derived
-    state — in particular the route memo — does not participate, so
-    warming routes leaves the digest unchanged. Used as the platform
-    component of the serve daemon's schedule-cache key. *)
+    serialization of the topology, routing function, PE descriptors,
+    bit-energy model, bandwidth and router latency (floats rendered
+    exactly). Derived state — in particular the route memo — does not
+    participate, so warming routes leaves the digest unchanged. Used as
+    the platform component of the serve daemon's schedule-cache key;
+    since v2 the routing function participates, so schedules produced
+    under different routing disciplines never alias. *)
 
 val warm_routes : t -> unit
 (** Eagerly fill the whole [(src, dst)] route memo. The lazy fill is
@@ -88,14 +100,15 @@ val all_links : t -> Routing.link list
 
 (** {1 Deterministic heterogeneous presets} *)
 
-val heterogeneous : ?seed:int -> Topology.t -> unit -> t
+val heterogeneous : ?seed:int -> ?routing:Turn_model.t -> Topology.t -> unit -> t
 (** A platform over an arbitrary topology whose PE kinds cycle through
     {!Pe.all_kinds} with mild per-tile factor perturbation drawn from
     [seed] (default 0); deterministic. Platforms built this way over
     different topologies of equal size have identical PE arrays, which
     is what the topology-comparison experiments need. *)
 
-val heterogeneous_mesh : ?seed:int -> cols:int -> rows:int -> unit -> t
+val heterogeneous_mesh :
+  ?seed:int -> ?routing:Turn_model.t -> cols:int -> rows:int -> unit -> t
 (** A mesh whose PE kinds cycle through {!Pe.all_kinds} with mild
     per-tile factor perturbation drawn from [seed] (default 0): every
     call with equal arguments yields the same platform. *)

@@ -5,6 +5,8 @@
 
 module Cdg = Noc_analysis.Cdg
 module Deadlock = Noc_analysis.Deadlock
+module Qos = Noc_analysis.Qos
+module Turn_model = Noc_noc.Turn_model
 module Ctg_lint = Noc_analysis.Ctg_lint
 module Platform_lint = Noc_analysis.Platform_lint
 module Certify = Noc_analysis.Certify
@@ -129,6 +131,142 @@ let test_degraded_unreachable_pairs () =
   Alcotest.(check int) "three unreachable pairs" 3
     (count_rule "deadlock/unreachable-pair" diagnostics);
   Alcotest.(check int) "nothing else" 3 (List.length diagnostics)
+
+(* ------------------------------------------------------------------ *)
+(* Turn-model route relations: the adaptive deadlock proofs and the
+   two-fault regression the turn-legal detours solve.                  *)
+
+let test_adaptive_relations_certified () =
+  (* The acceptance sweep for the relation-level proof: west-first and
+     odd-even on every mesh from 2x2 to 8x8 certify with zero
+     diagnostics — every admissible route minimal, every composed turn
+     legal by the model's own predicate, relation CDG acyclic. *)
+  List.iter
+    (fun routing ->
+      for cols = 2 to 8 do
+        for rows = 2 to 8 do
+          let platform =
+            Noc_noc.Platform.heterogeneous_mesh ~seed:1 ~routing ~cols ~rows ()
+          in
+          check_rules
+            (Printf.sprintf "%s mesh %dx%d" (Turn_model.name routing) cols rows)
+            []
+            (rules (Deadlock.check_platform platform))
+        done
+      done)
+    [ Turn_model.West_first; Turn_model.Odd_even ]
+
+let test_adaptive_unsupported_on_torus () =
+  (* Torus wraparounds re-introduce the ring cycles the turn
+     prohibitions break, so the adaptive models refuse the topology
+     outright rather than emit an unsound proof. *)
+  let platform =
+    Noc_noc.Platform.heterogeneous ~seed:1 (Noc_noc.Topology.torus ~cols:4 ~rows:4) ()
+  in
+  List.iter
+    (fun routing ->
+      check_rules (Turn_model.name routing) [ "routing/unsupported-topology" ]
+        (rules (Deadlock.check_routing ~routing platform)))
+    [ Turn_model.West_first; Turn_model.Odd_even ]
+
+let qcheck_relation_cdg_acyclic =
+  QCheck.Test.make ~name:"relation CDG acyclic for all three turn models" ~count:30
+    QCheck.(pair (int_range 2 8) (int_range 2 8))
+    (fun (cols, rows) ->
+      let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:7 ~cols ~rows () in
+      List.for_all
+        (fun routing -> Cdg.is_acyclic (Deadlock.cdg_of_routing routing platform))
+        Turn_model.all)
+
+let manhattan ~cols src dst =
+  abs ((src mod cols) - (dst mod cols)) + abs ((src / cols) - (dst / cols))
+
+let qcheck_admissible_walks_minimal_and_legal =
+  (* The route-relation laws, sampled over random hop choices: any walk
+     that follows [next_hops] reaches the destination in exactly the
+     Manhattan distance (minimality and totality — no stalls), and
+     every turn it composes passes the model's own legality predicate.
+     This covers west-first minimality up to 8x8 as a special case. *)
+  QCheck.Test.make ~name:"every admissible walk is minimal and turn-legal"
+    ~count:300
+    QCheck.(
+      triple (pair (int_range 2 8) (int_range 2 8)) (int_bound 10_000)
+        (int_bound 10_000))
+    (fun ((cols, rows), pair_pick, walk_pick) ->
+      let topo = Noc_noc.Topology.mesh ~cols ~rows in
+      let n = cols * rows in
+      let src = pair_pick mod n in
+      let dst = (src + 1 + (pair_pick / n mod (n - 1))) mod n in
+      List.for_all
+        (fun routing ->
+          let dist = manhattan ~cols src dst in
+          let rec walk prev node steps =
+            if node = dst then steps = dist
+            else if steps >= dist then false
+            else
+              match Turn_model.next_hops routing topo ~src ~node ~dst with
+              | [] -> false
+              | hops ->
+                let next =
+                  List.nth hops ((walk_pick + steps) mod List.length hops)
+                in
+                (match prev with
+                | None -> true
+                | Some p -> Turn_model.turn_legal routing topo ~prev:p ~via:node ~next)
+                && walk (Some node) next (steps + 1)
+          in
+          walk None src 0)
+        Turn_model.all)
+
+let pr3_fault_specs = [ "link:5-6"; "link:9-5" ]
+
+let test_two_fault_case_solved_by_west_first () =
+  (* The regression pinned by test_degraded_cycle_under_faults: the
+     exact fault pair that bends XY's unrestricted BFS detours into a
+     circular wait. Under west-first the degraded view finds a
+     turn-legal (possibly non-minimal) detour for every pair, so the
+     degraded route set is certifiably acyclic — the two-fault case is
+     solved, not merely detected. *)
+  let platform =
+    Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~routing:Turn_model.West_first
+      ~cols:4 ~rows:4 ()
+  in
+  let faults = faults_exn pr3_fault_specs in
+  check_rules "west-first survives the two-fault case" []
+    (rules (Deadlock.check_degraded platform faults));
+  (* The constructive reason: every degraded route stays inside the
+     turn-legal walk set, so Glass & Ni applies route by route. *)
+  let view = Noc_fault.Fault_set.degraded faults platform in
+  let routes, unreachable = Deadlock.degraded_routes view in
+  Alcotest.(check (list (pair int int))) "no disconnection" [] unreachable;
+  let topo = Noc_noc.Platform.topology platform in
+  List.iter
+    (fun route ->
+      let rec turns = function
+        | prev :: (via :: next :: _ as rest) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "turn %d->%d->%d legal" prev via next)
+            true
+            (Turn_model.turn_legal Turn_model.West_first topo ~prev ~via ~next);
+          turns rest
+        | _ -> ()
+      in
+      turns route)
+    routes
+
+let test_two_fault_case_odd_even_falls_back () =
+  (* Odd-even provably cannot route 5 -> 6 once links 5-6 and 9-5 are
+     gone: every surviving approach to tile 6 needs an EN/ES turn at an
+     even column or an NW/SW turn at an odd one. The view falls back to
+     an unrestricted BFS detour for that pair and the analyzer still
+     reports the cycle — the honest negative the docs record. *)
+  let platform =
+    Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~routing:Turn_model.Odd_even
+      ~cols:4 ~rows:4 ()
+  in
+  let diagnostics = Deadlock.check_degraded platform (faults_exn pr3_fault_specs) in
+  Alcotest.(check bool) "cycle still reported" true
+    (List.mem "deadlock/cyclic-cdg" (rules diagnostics))
 
 (* ------------------------------------------------------------------ *)
 (* CTG lint: one minimal failing fixture per rule.                     *)
@@ -439,6 +577,77 @@ let test_same_tile_io_round_trip () =
         check_rules "still certifies" [] (rules (Certify.check platform ctg loaded)))
 
 (* ------------------------------------------------------------------ *)
+(* QoS bandwidth-guarantee checker                                     *)
+
+let test_qos_xy_rejects_oversubscribed_flow () =
+  (* A flow at twice the link bandwidth cannot fit XY's single route
+     0->1->2->3->7->11->15; the checker names the saturated links and
+     charges the remainder back onto the canonical route, so all six of
+     its links read 200%. *)
+  let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols:4 ~rows:4 () in
+  let bw = Noc_noc.Platform.link_bandwidth platform in
+  let report = Qos.check platform [ { Qos.id = 0; src = 0; dst = 15; rate = 2. *. bw } ] in
+  Alcotest.(check int) "one infeasible flow" 1
+    (count_rule "qos/infeasible-flow" report.Qos.diagnostics);
+  Alcotest.(check int) "six overloaded links" 6
+    (count_rule "qos/link-overload" report.Qos.diagnostics);
+  Alcotest.(check int) "loads cover every directed link"
+    (List.length (Noc_noc.Platform.all_links platform))
+    (List.length report.Qos.loads);
+  let worst =
+    List.fold_left (fun acc l -> Float.max acc (Qos.utilization l)) 0. report.Qos.loads
+  in
+  Alcotest.(check (float 1e-9)) "200% on the canonical route" 2. worst
+
+let test_qos_adaptive_splits_same_flow () =
+  (* The same double-bandwidth flow fits once the routing relation
+     offers disjoint minimal routes to water-fill: both adaptive models
+     accept it with every link at or under 100%. *)
+  List.iter
+    (fun routing ->
+      let platform =
+        Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~routing ~cols:4 ~rows:4 ()
+      in
+      let bw = Noc_noc.Platform.link_bandwidth platform in
+      let report =
+        Qos.check platform [ { Qos.id = 0; src = 0; dst = 15; rate = 2. *. bw } ]
+      in
+      check_rules (Turn_model.name routing) [] (rules report.Qos.diagnostics);
+      let worst =
+        List.fold_left
+          (fun acc l -> Float.max acc (Qos.utilization l))
+          0. report.Qos.loads
+      in
+      Alcotest.(check (float 1e-9))
+        (Turn_model.name routing ^ " saturates but never overloads")
+        1. worst)
+    [ Turn_model.West_first; Turn_model.Odd_even ]
+
+let test_qos_flows_of_schedule () =
+  let ctg, schedule = eas_schedule 0 in
+  let flows = Qos.flows_of_schedule ctg schedule in
+  Alcotest.(check bool) "corpus schedule has travelling flows" true (flows <> []);
+  List.iter
+    (fun (f : Qos.flow) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "flow %d is a positive cross-tile rate" f.id)
+        true
+        (f.rate > 0. && f.src <> f.dst))
+    flows;
+  (* Rates scale inversely with the horizon. *)
+  let short = Qos.flows_of_schedule ~horizon:10. ctg schedule in
+  let long = Qos.flows_of_schedule ~horizon:20. ctg schedule in
+  List.iter2
+    (fun (a : Qos.flow) (b : Qos.flow) ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "flow %d rate halves with doubled horizon" a.id)
+        a.rate (2. *. b.rate))
+    short long;
+  Alcotest.check_raises "non-positive horizon rejected"
+    (Invalid_argument "Qos.flows_of_schedule: horizon must be positive")
+    (fun () -> ignore (Qos.flows_of_schedule ~horizon:0. ctg schedule))
+
+(* ------------------------------------------------------------------ *)
 (* Diagnostics: ordering, exit codes, JSON stability                   *)
 
 let sample_diagnostics () =
@@ -465,17 +674,34 @@ let test_diagnostic_order_and_exit_codes () =
   Alcotest.(check int) "clean exit 0" 0 (Diagnostic.exit_code [])
 
 let test_diagnostic_json_stable () =
-  let a = Diagnostic.to_json (sample_diagnostics ()) in
-  let b = Diagnostic.to_json (List.rev (sample_diagnostics ())) in
+  let a =
+    Diagnostic.to_json ~routing:"odd-even" ~faults:[ "link:5-6"; "pe:1" ]
+      (sample_diagnostics ())
+  in
+  let b =
+    Diagnostic.to_json ~routing:"odd-even" ~faults:[ "link:5-6"; "pe:1" ]
+      (List.rev (sample_diagnostics ()))
+  in
   Alcotest.(check string) "order-independent report" a b;
-  let contains needle =
-    let n = String.length needle and h = String.length a in
-    let rec go i = i + n <= h && (String.sub a i n = needle || go (i + 1)) in
+  let contains_in haystack needle =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
     go 0
   in
-  Alcotest.(check bool) "schema tag" true (contains "nocsched/analysis/v1");
+  let contains = contains_in a in
+  Alcotest.(check bool) "schema tag" true (contains "nocsched/analysis/v2");
+  (* The v2 header records the analyzed routing function and the fault
+     set; everything a v1 reader consumed is still present unchanged. *)
+  Alcotest.(check bool) "routing header" true (contains "\"routing\": \"odd-even\"");
+  Alcotest.(check bool) "fault summary" true
+    (contains "\"faults\": {\"count\": 2, \"elements\": [\"link:5-6\", \"pe:1\"]}");
   Alcotest.(check bool) "summary counts" true
-    (contains "\"errors\": 2, \"warnings\": 1, \"infos\": 1")
+    (contains "\"errors\": 2, \"warnings\": 1, \"infos\": 1");
+  let defaults = Diagnostic.to_json (sample_diagnostics ()) in
+  Alcotest.(check bool) "default routing is xy" true
+    (contains_in defaults "\"routing\": \"xy\"");
+  Alcotest.(check bool) "default fault set is empty" true
+    (contains_in defaults "\"faults\": {\"count\": 0, \"elements\": []}")
 
 (* ------------------------------------------------------------------ *)
 (* Fault-spec parse errors carry character positions (satellite).      *)
@@ -516,6 +742,22 @@ let suite =
       test_degraded_single_fault_stays_clean;
     Alcotest.test_case "isolating faults report unreachable pairs" `Quick
       test_degraded_unreachable_pairs;
+    Alcotest.test_case "adaptive relations certify on 2x2..8x8 meshes" `Quick
+      test_adaptive_relations_certified;
+    Alcotest.test_case "adaptive models refuse torus topologies" `Quick
+      test_adaptive_unsupported_on_torus;
+    QCheck_alcotest.to_alcotest qcheck_relation_cdg_acyclic;
+    QCheck_alcotest.to_alcotest qcheck_admissible_walks_minimal_and_legal;
+    Alcotest.test_case "west-first solves the two-fault detour cycle" `Quick
+      test_two_fault_case_solved_by_west_first;
+    Alcotest.test_case "odd-even falls back to BFS on the two-fault case" `Quick
+      test_two_fault_case_odd_even_falls_back;
+    Alcotest.test_case "qos: XY rejects an oversubscribed flow" `Quick
+      test_qos_xy_rejects_oversubscribed_flow;
+    Alcotest.test_case "qos: adaptive relations split the same flow" `Quick
+      test_qos_adaptive_splits_same_flow;
+    Alcotest.test_case "qos: flows derived from a schedule" `Quick
+      test_qos_flows_of_schedule;
     Alcotest.test_case "lint: empty graph" `Quick test_lint_empty_graph;
     Alcotest.test_case "lint: PE count mismatch" `Quick test_lint_pe_count_mismatch;
     Alcotest.test_case "lint: dangling edge" `Quick test_lint_dangling_edge;

@@ -154,6 +154,28 @@ let test_usage_errors_exit_2 () =
         (contains stderr "Usage:"))
     cases
 
+let test_routing_flag () =
+  (* The adaptive relation certifies on the acceptance mesh... *)
+  let code, text = run_capture "analyze --platform --mesh 8x8 --routing west-first" in
+  Alcotest.(check int) "analyze exit 0" 0 code;
+  Alcotest.(check bool) "names the routing function" true
+    (contains text "west-first routing");
+  Alcotest.(check bool) "clean" true (contains text "analysis clean");
+  (* ...and the turn-legal detours survive the two-fault replay that
+     sinks unrestricted BFS rerouting (the PR-3 regression, end to
+     end). *)
+  let code, text =
+    run_capture
+      "simulate --benchmark tgff:3 --tasks 40 --routing west-first --fault \
+       link:5-6 --fault link:9-5 --reschedule"
+  in
+  Alcotest.(check int) "simulate exit 0" 0 code;
+  Alcotest.(check bool) "rescheduled replay survives" true
+    (contains text "rescheduled replay: 0 deadline misses, 0 lost tasks");
+  let code, _, stderr = run_shell "%s analyze --platform --routing bogus" binary in
+  Alcotest.(check int) "bad model exit 2" 2 code;
+  Alcotest.(check bool) "names --routing" true (contains stderr "--routing")
+
 let test_help () =
   let code, text = run_capture "--help=plain" in
   Alcotest.(check int) "exit 0" 0 code;
@@ -172,5 +194,6 @@ let suite =
     Alcotest.test_case "bad benchmark" `Quick test_bad_benchmark;
     Alcotest.test_case "stdin via -" `Quick test_stdin_dash;
     Alcotest.test_case "usage errors exit 2" `Quick test_usage_errors_exit_2;
+    Alcotest.test_case "routing flag" `Quick test_routing_flag;
     Alcotest.test_case "help" `Quick test_help;
   ]

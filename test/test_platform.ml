@@ -130,6 +130,23 @@ let test_digest () =
   Alcotest.(check bool) "bit-energy model changes digest" true
     (base <> Platform.digest (tweaked ~bandwidth:100. ~e_lbit:2.5))
 
+let test_digest_covers_routing () =
+  (* The routing function changes which schedules are valid (adaptive
+     detours, QoS splitting), so it must separate serve-cache keys: the
+     same mesh under XY and under an adaptive model may not collide. *)
+  let with_routing routing =
+    Platform.digest
+      (Platform.heterogeneous_mesh ~seed:42 ~routing ~cols:4 ~rows:4 ())
+  in
+  let xy = with_routing Noc_noc.Turn_model.Xy in
+  Alcotest.(check string) "explicit XY is the default" xy
+    (Platform.digest (Platform.heterogeneous_mesh ~seed:42 ~cols:4 ~rows:4 ()));
+  let odd_even = with_routing Noc_noc.Turn_model.Odd_even in
+  let west_first = with_routing Noc_noc.Turn_model.West_first in
+  Alcotest.(check bool) "odd-even differs from xy" true (odd_even <> xy);
+  Alcotest.(check bool) "west-first differs from xy" true (west_first <> xy);
+  Alcotest.(check bool) "the adaptive models differ" true (west_first <> odd_even)
+
 let suite =
   [
     Alcotest.test_case "construction checks" `Quick test_construction_checks;
@@ -142,4 +159,6 @@ let suite =
     Alcotest.test_case "homogeneous preset" `Quick test_homogeneous_preset;
     Alcotest.test_case "all links" `Quick test_all_links;
     Alcotest.test_case "digest" `Quick test_digest;
+    Alcotest.test_case "digest covers the routing function" `Quick
+      test_digest_covers_routing;
   ]

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-parallel bench-obs bench-serve bench-routing serve-smoke trace-smoke quick-bench analyze analyze-adaptive verify examples doc clean
+.PHONY: all build test bench bench-json bench-parallel bench-obs bench-serve bench-routing bench-mapping serve-smoke trace-smoke quick-bench analyze analyze-adaptive verify examples doc clean
 
 all: build
 
@@ -26,6 +26,7 @@ quick-bench:
 # regress against). Exits non-zero if the indexed timeline is less than
 # 5x the reference list implementation, or if the category-I EAS p50 is
 # less than 5x faster than the 0.0642 s pre-kernel baseline.
+# usage: make bench-json                # writes + gates BENCH_timeline.json
 bench-json:
 	dune exec bench/main.exe -- --json BENCH_timeline.json
 
@@ -34,6 +35,7 @@ bench-json:
 # identical, and writes BENCH_parallel.json (committed). The >= 1.7x
 # speedup threshold binds only on machines that expose >= 2 cores; the
 # divergence check always binds.
+# usage: make bench-parallel          # writes + gates BENCH_parallel.json
 bench-parallel:
 	dune exec bench/main.exe -- parallel
 
@@ -41,6 +43,7 @@ bench-parallel:
 # category-I suite must stay within budget (analytic estimate <= 3%)
 # and counters/decision logs must be bit-identical at --jobs 1/2/4.
 # Writes BENCH_obs.json (committed).
+# usage: make bench-obs               # writes + gates BENCH_obs.json
 bench-obs:
 	dune exec bench/main.exe -- obs
 
@@ -48,6 +51,7 @@ bench-obs:
 # must be >= 10x below the cold p99, the incremental reschedule must be
 # >= 2x faster than a full EAS rerun, and requests/sec is measured
 # through a real Unix-socket daemon. Writes BENCH_serve.json (committed).
+# usage: make bench-serve             # writes + gates BENCH_serve.json
 bench-serve:
 	dune exec bench/main.exe -- serve
 
@@ -56,8 +60,20 @@ bench-serve:
 # route set in the Monte-Carlo sweep must be acyclic, and west-first
 # must keep solving the PR-3 two-fault detour cycle. Writes
 # BENCH_routing.json (committed).
+# usage: make bench-routing           # writes + gates BENCH_routing.json
 bench-routing:
 	dune exec bench/main.exe -- routing
+
+# Mapping-search gate: swap delta-eval must be >= 20x faster than a
+# full objective recompute at category-III scale (~2000 tasks, 16x16),
+# the annealed balance=0 point must never cost more pinned-EAS energy
+# than the identity mapping on any swept mesh, and search results must
+# be identical across --jobs 1/2/4 and chain-count prefixes. Writes
+# BENCH_mapping.json (committed), embedding the energy/latency Pareto
+# table.
+# usage: make bench-mapping           # writes + gates BENCH_mapping.json
+bench-mapping:
+	dune exec bench/main.exe -- mapping
 
 # End-to-end daemon smoke: start `nocsched serve` on a private socket,
 # run a schedule and an incremental reschedule through the client, ask
@@ -115,9 +131,10 @@ analyze-adaptive: build
 # daemon smokes, then the persisted bench gates (timeline regression,
 # parallel-execution determinism/speedup, the observability
 # overhead/determinism gate, the scheduling-service latency gate, the
-# turn-model routing gate, and the fault-campaign survivability table
-# written to BENCH_faults.json).
-verify: build test analyze analyze-adaptive trace-smoke serve-smoke bench-json bench-parallel bench-obs bench-serve bench-routing
+# turn-model routing gate, the mapping-search delta-eval/Pareto gate,
+# and the fault-campaign survivability table written to
+# BENCH_faults.json).
+verify: build test analyze analyze-adaptive trace-smoke serve-smoke bench-json bench-parallel bench-obs bench-serve bench-routing bench-mapping
 	dune exec bench/main.exe -- faults
 
 examples:

@@ -1097,6 +1097,249 @@ module Routing_bench = struct
     end
 end
 
+(* Mapping-search bench gate (mapping): delta-eval latency vs a full
+   objective recompute on the category-III acceptance instance
+   (~2000 tasks on the 16x16 mesh), search determinism across job
+   counts and chain prefixes, and the persisted energy/latency Pareto
+   table. Persists BENCH_mapping.json.
+
+   Three gates:
+   - A swap scored with [Objective.swap_delta] (O(incident arcs)) must
+     be >= 20x faster than [Objective.full_value] at acceptance scale.
+   - At balance weight 0 the annealed point's pinned-EAS energy must
+     not exceed the identity mapping's on any swept mesh: chain 0
+     starts from identity and the pure-energy objective equals the
+     Eq.-3 total, so the best static survivor can only improve on it.
+   - [Search.run] must return identical results at jobs 1/2/4, and the
+     first chains of a wider search must reproduce a narrower one
+     (per-chain PRNG streams depend only on (seed, chain)). *)
+module Mapping_bench = struct
+  module Objective = Noc_map.Objective
+  module Search = Noc_map.Search
+
+  let delta_speedup_threshold = 20.
+  let samples = 50
+  let delta_batch = 200
+  let full_batch = 5
+
+  let percentile samples ~p =
+    Noc_util.Stats.percentile (Array.of_list samples) ~p
+
+  (* Everything [Search.run] computed, in a structurally comparable
+     shape (floats compare bitwise under (=) here — the invariance
+     being gated is exact, not approximate). *)
+  let digest (r : Search.result) =
+    ( List.map
+        (fun (c : Search.chain_result) ->
+          (c.chain, c.value, c.accepted, Array.to_list c.best_mapping))
+        r.chain_results,
+      List.map
+        (fun (c : Search.candidate) ->
+          ( Search.origin_name c.origin, c.static_value, c.energy, c.makespan,
+            c.misses, Array.to_list c.mapping ))
+        r.candidates,
+      Array.to_list r.winner.mapping )
+
+  let chain_digests (r : Search.result) =
+    List.map
+      (fun (c : Search.chain_result) ->
+        (c.chain, c.value, c.accepted, Array.to_list c.best_mapping))
+      r.chain_results
+
+  let run ~quick file =
+    let oc =
+      try open_out file
+      with Sys_error msg ->
+        Printf.eprintf "cannot write bench output: %s\n" msg;
+        exit 1
+    in
+    (* Delta vs full recompute on the acceptance instance. The deltas
+       are ~100 ns each, so both paths are timed in batches and the
+       percentiles are over per-batch means. *)
+    let cols, rows, scale = if quick then (8, 8, 0.2) else (16, 16, 1.0) in
+    let platform = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols ~rows () in
+    let params =
+      Noc_tgff.Category.scaled_params Noc_tgff.Category.Category_iii ~scale
+    in
+    let seed = Noc_tgff.Category.seed_of Noc_tgff.Category.Category_iii 1 in
+    let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
+    let kernel = Noc_eas.Kernel.build platform ctg in
+    let tables = Objective.lift platform kernel ctg in
+    let n_tasks = Noc_ctg.Ctg.n_tasks ctg in
+    let state =
+      Objective.create tables
+        (Search.identity_mapping ~n_tasks ~n_pes:(cols * rows))
+    in
+    let rng = Noc_util.Prng.create ~seed:7 in
+    let pairs =
+      (* Fixed proposal set so the RNG is outside the timed region. *)
+      Array.init delta_batch (fun _ ->
+          ( Noc_util.Prng.int rng ~bound:n_tasks,
+            Noc_util.Prng.int rng ~bound:n_tasks ))
+    in
+    let time_batch n f =
+      let t0 = Unix.gettimeofday () in
+      for i = 0 to n - 1 do
+        f i
+      done;
+      (Unix.gettimeofday () -. t0) /. float_of_int n *. 1e9
+    in
+    let sink = ref 0. in
+    let delta_ns =
+      List.init samples (fun _ ->
+          time_batch delta_batch (fun i ->
+              let a, b = pairs.(i) in
+              sink := !sink +. Objective.swap_delta state ~a ~b))
+    in
+    let mapping = Objective.mapping state in
+    let full_ns =
+      List.init samples (fun _ ->
+          time_batch full_batch (fun _ ->
+              sink := !sink +. Objective.full_value tables mapping))
+    in
+    ignore !sink;
+    let delta_p50 = percentile delta_ns ~p:50. in
+    let delta_p99 = percentile delta_ns ~p:99. in
+    let full_p50 = percentile full_ns ~p:50. in
+    let full_p99 = percentile full_ns ~p:99. in
+    let delta_speedup = full_p50 /. delta_p50 in
+    (* Determinism on a smaller instance (the invariance is exact at
+       every size; this keeps four full searches cheap). *)
+    let det_platform =
+      Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols:8 ~rows:8 ()
+    in
+    let det_params =
+      Noc_tgff.Category.scaled_params Noc_tgff.Category.Category_iii ~scale:0.25
+    in
+    let det_ctg =
+      Noc_tgff.Generate.generate ~params:det_params ~platform:det_platform ~seed
+    in
+    let det_kernel = Noc_eas.Kernel.build det_platform det_ctg in
+    let search ?chains jobs =
+      let params =
+        match chains with
+        | None -> Search.default_params
+        | Some chains -> { Search.default_params with chains }
+      in
+      Search.run ~jobs ~params ~kernel:det_kernel det_platform det_ctg
+    in
+    let r1 = search 1 in
+    let jobs_invariant =
+      digest (search 2) = digest r1 && digest (search 4) = digest r1
+    in
+    let chain_prefix_invariant =
+      (* The first 2 chains of the default 4-chain search must be the
+         2-chain search verbatim (streams keyed by (seed, chain)). *)
+      let narrow = chain_digests (search ~chains:2 1) in
+      List.filteri (fun i _ -> i < List.length narrow) (chain_digests r1)
+      = narrow
+    in
+    (* The persisted Pareto table, one annealed point per balance
+       weight vs the identity placement. *)
+    let pareto =
+      if quick then
+        Noc_experiments.Topology_compare.pareto ~meshes:[ (8, 8) ] ~scale:0.2 ()
+      else Noc_experiments.Topology_compare.pareto ()
+    in
+    let sa_vs_identity =
+      List.map
+        (fun (r : Noc_experiments.Topology_compare.pareto_row) ->
+          let find label =
+            List.find
+              (fun (p : Noc_experiments.Topology_compare.point) -> p.label = label)
+              r.points
+          in
+          (r.mesh, find "identity", find "sa/balance=0"))
+        pareto.Noc_experiments.Topology_compare.rows
+    in
+    let energy_gate =
+      (* Tiny relative epsilon: the two pinned-EAS totals are summed in
+         schedule order, the static objective in table order. *)
+      List.for_all
+        (fun ( _,
+               (id : Noc_experiments.Topology_compare.point),
+               (sa : Noc_experiments.Topology_compare.point) ) ->
+          sa.energy <= id.energy *. (1. +. 1e-9))
+        sa_vs_identity
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"schema\": \"nocsched/bench-mapping/v1\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"workload\": \"category-III tgff (%d tasks, %d arcs) on %dx%d mesh\",\n"
+         n_tasks (Noc_ctg.Ctg.n_edges ctg) cols rows);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"delta_p50_ns\": %.1f,\n  \"delta_p99_ns\": %.1f,\n"
+         delta_p50 delta_p99);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"full_p50_ns\": %.1f,\n  \"full_p99_ns\": %.1f,\n"
+         full_p50 full_p99);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"delta_speedup_p50\": %.1f,\n" delta_speedup);
+    Buffer.add_string buf
+      (Printf.sprintf "  \"delta_speedup_threshold\": %.1f,\n"
+         delta_speedup_threshold);
+    Buffer.add_string buf "  \"sa_vs_identity\": [\n";
+    List.iteri
+      (fun i ( (mcols, mrows),
+               (id : Noc_experiments.Topology_compare.point),
+               (sa : Noc_experiments.Topology_compare.point) ) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"mesh\": \"%dx%d\", \"identity_nj\": %.1f, \"sa_nj\": %.1f, \
+              \"saving_pct\": %.1f, \"sa_misses\": %d, \"sa_cert_errors\": %d}%s\n"
+             mcols mrows id.energy sa.energy
+             ((id.energy -. sa.energy) /. id.energy *. 100.)
+             sa.misses sa.cert_errors
+             (if i < List.length sa_vs_identity - 1 then "," else "")))
+      sa_vs_identity;
+    Buffer.add_string buf "  ],\n";
+    Buffer.add_string buf "  \"pareto\":\n";
+    Buffer.add_string buf
+      (Noc_experiments.Topology_compare.pareto_to_json pareto);
+    Buffer.add_string buf "  ,\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"gate\": {\"delta_speedup_ok\": %b, \"sa_energy_le_identity\": %b, \
+          \"jobs_invariant\": %b, \"chain_prefix_invariant\": %b}\n"
+         (delta_speedup >= delta_speedup_threshold)
+         energy_gate jobs_invariant chain_prefix_invariant);
+    Buffer.add_string buf "}\n";
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_string (Noc_experiments.Topology_compare.render_pareto pareto);
+    Printf.printf
+      "delta %.0f ns vs full recompute %.0f ns (p50): %.0fx; jobs invariant: %b; \
+       chain prefix invariant: %b\n"
+      delta_p50 full_p50 delta_speedup jobs_invariant chain_prefix_invariant;
+    Printf.printf "wrote %s\n" file;
+    if delta_speedup < delta_speedup_threshold then begin
+      Printf.eprintf
+        "bench gate FAILED: swap delta-eval p50 %.0f ns is only %.1fx faster \
+         than the %.0f ns full recompute (need >= %.1fx)\n"
+        delta_p50 delta_speedup full_p50 delta_speedup_threshold;
+      exit 1
+    end;
+    if not energy_gate then begin
+      Printf.eprintf
+        "bench gate FAILED: an annealed balance=0 point costs more pinned-EAS \
+         energy than the identity mapping\n";
+      exit 1
+    end;
+    if not jobs_invariant then begin
+      Printf.eprintf
+        "bench gate FAILED: Search.run results differ across --jobs 1/2/4\n";
+      exit 1
+    end;
+    if not chain_prefix_invariant then begin
+      Printf.eprintf
+        "bench gate FAILED: the first chains of a 4-chain search do not \
+         reproduce the 2-chain search\n";
+      exit 1
+    end
+end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (match args with
@@ -1113,7 +1356,7 @@ let () =
     [
       "fig5"; "fig6"; "tab1"; "tab2"; "tab3"; "fig7"; "split"; "ablation"; "topo";
       "weights"; "repairmoves"; "dvs"; "baselines"; "buffering"; "faults";
-      "parallel"; "obs"; "serve"; "routing";
+      "parallel"; "obs"; "serve"; "routing"; "mapping";
     ]
   in
   let wanted = if wanted = [] then all else wanted in
@@ -1148,6 +1391,9 @@ let () =
       | "routing" ->
         section "Turn-model routing: relation proofs and detour survivability";
         Routing_bench.run "BENCH_routing.json"
+      | "mapping" ->
+        section "Mapping search: delta-eval, determinism and Pareto gate";
+        Mapping_bench.run ~quick "BENCH_mapping.json"
       | "micro" -> micro ()
       | other ->
         Printf.eprintf "unknown experiment %S (known: %s micro)\n" other

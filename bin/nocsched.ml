@@ -336,8 +336,16 @@ let schedule_cmd =
              ~doc:"Fan the EAS candidate evaluations out over N domains. The \
                    schedule is bit-identical at every job count.")
   in
+  let map_search_arg =
+    Arg.(value & flag
+         & info [ "map-search" ]
+             ~doc:"Anneal a task-to-tile mapping first (default \
+                   $(b,Noc_map.Search) parameters, chains fanned over \
+                   $(b,--jobs)) and pin the EAS variants to the winner. EDF \
+                   ignores placement, so it rejects this flag.")
+  in
   let run spec algo mesh tasks tightness routing gantt input save utilization svg
-      file jobs obs =
+      file jobs map_search obs =
     with_obs obs @@ fun () ->
     (match jobs with
     | Some n when n < 1 -> failwith "--jobs must be at least 1"
@@ -350,11 +358,23 @@ let schedule_cmd =
         let ctg = load_ctg path in
         (platform_for_ctg ~mesh ~routing ctg, ctg)
     in
+    let pinned =
+      if not map_search then None
+      else begin
+        if algo = Noc_experiments.Runner.Edf then
+          failwith "--map-search needs a placement-aware scheduler (eas or eas-base)";
+        let r = Noc_map.Search.run ?jobs platform ctg in
+        Noc_obs.Log.infof "map search: winner %s (static value %.6g)"
+          (Noc_map.Search.origin_name r.Noc_map.Search.winner.origin)
+          r.Noc_map.Search.winner.static_value;
+        Some r.Noc_map.Search.winner.mapping
+      end
+    in
     (* One scheduler run serves metrics, outputs and the decision log
        alike — a second run would duplicate every --decisions record
        and double the command's wall time. *)
     let t0 = Noc_util.Clock.wall_s () in
-    let schedule = Noc_experiments.Runner.schedule_of ?jobs algo platform ctg in
+    let schedule = Noc_experiments.Runner.schedule_of ?pinned ?jobs algo platform ctg in
     let runtime_seconds = Noc_util.Clock.wall_s () -. t0 in
     let metrics = Noc_sched.Metrics.compute platform ctg schedule in
     Format.printf "%s on %a / %a@."
@@ -398,7 +418,131 @@ let schedule_cmd =
     Term.(term_result
             (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
              $ routing_arg $ gantt_arg $ input_arg $ save_arg $ utilization_arg
-             $ svg_arg $ file_arg $ jobs_arg $ obs_term))
+             $ svg_arg $ file_arg $ jobs_arg $ map_search_arg $ obs_term))
+
+(* ------------------------------------------------------------------ *)
+(* map                                                                 *)
+
+let map_cmd =
+  let input_arg =
+    Arg.(value & opt (some string) None
+         & info [ "input"; "i" ] ~docv:"FILE"
+             ~doc:"Map a graph loaded from FILE (text format; $(b,-) reads \
+                   stdin) instead of a built-in benchmark; the platform still \
+                   comes from $(b,--mesh).")
+  in
+  let file_arg =
+    Arg.(value & pos 0 (some string) None
+         & info [] ~docv:"FILE"
+             ~doc:"Task-graph file to map (text format; $(b,-) reads stdin); \
+                   shorthand for $(b,--input) FILE.")
+  in
+  let chains_arg =
+    Arg.(value & opt int Noc_map.Search.default_params.Noc_map.Search.chains
+         & info [ "chains" ] ~docv:"K"
+             ~doc:"Independent annealing chains (chain 0 starts from the \
+                   identity mapping).")
+  in
+  let iters_arg =
+    Arg.(value & opt int Noc_map.Search.default_params.Noc_map.Search.iters
+         & info [ "iters" ] ~docv:"N" ~doc:"Proposals per chain.")
+  in
+  let survivors_arg =
+    Arg.(value & opt int Noc_map.Search.default_params.Noc_map.Search.survivors
+         & info [ "survivors" ] ~docv:"K"
+             ~doc:"Best static mappings given a full pinned-EAS schedule and \
+                   certification pass.")
+  in
+  let sa_seed_arg =
+    Arg.(value & opt int Noc_map.Search.default_params.Noc_map.Search.seed
+         & info [ "sa-seed" ] ~docv:"SEED"
+             ~doc:"Seed of the annealer's PRNG streams (independent of the \
+                   graph seed).")
+  in
+  let balance_arg =
+    Arg.(value & opt float 0.
+         & info [ "balance" ] ~docv:"W"
+             ~doc:"Load-balance weight in units of the mean (task, PE) \
+                   execution energy; 0 optimises Eq.-3 energy alone.")
+  in
+  let latency_arg =
+    Arg.(value & opt float 0.
+         & info [ "latency" ] ~docv:"W"
+             ~doc:"Static communication-latency weight (per-arc serialisation \
+                   plus router hops).")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "jobs"; "j" ] ~docv:"N"
+             ~doc:"Fan the chains out over N domains. Results are bit-identical \
+                   at every job count.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save-schedule" ] ~docv:"FILE"
+             ~doc:"Write the winner's pinned-EAS schedule in the library's \
+                   text format.")
+  in
+  let run spec mesh tasks tightness routing input file chains iters survivors
+      sa_seed balance latency jobs save obs =
+    with_obs obs @@ fun () ->
+    (match jobs with
+    | Some n when n < 1 -> failwith "--jobs must be at least 1"
+    | Some _ | None -> ());
+    if chains < 1 then failwith "--chains must be at least 1";
+    if iters < 0 then failwith "--iters must be non-negative";
+    if survivors < 1 then failwith "--survivors must be at least 1";
+    if balance < 0. || latency < 0. then failwith "weights must be non-negative";
+    let input = match file with Some _ -> file | None -> input in
+    let platform, ctg =
+      match input with
+      | None -> platform_and_ctg spec ~mesh ~tasks ~tightness ~routing
+      | Some path ->
+        let ctg = load_ctg path in
+        (platform_for_ctg ~mesh ~routing ctg, ctg)
+    in
+    (* The balance knob is given in mean-exec-energy units so the same
+       setting means the same pressure on every platform; lifting the
+       tables here (instead of inside [run]) converts it once. *)
+    let kernel = Noc_eas.Kernel.build platform ctg in
+    let tables = Noc_map.Objective.lift platform kernel ctg in
+    let weights =
+      {
+        Noc_map.Objective.latency;
+        balance = balance *. Noc_map.Objective.mean_exec_energy tables;
+      }
+    in
+    let params =
+      { Noc_map.Search.default_params with chains; iters; survivors;
+        seed = sa_seed; weights }
+    in
+    let r = Noc_map.Search.run ?jobs ~params ~kernel platform ctg in
+    Format.printf "%a@." Noc_map.Search.pp_result r;
+    let winner = r.Noc_map.Search.winner in
+    Format.printf "winner %s on %a / %a@."
+      (Noc_map.Search.origin_name winner.origin)
+      Noc_noc.Platform.pp platform Noc_ctg.Ctg.pp ctg;
+    let metrics = Noc_sched.Metrics.compute platform ctg winner.schedule in
+    Format.printf "%a@." Noc_sched.Metrics.pp metrics;
+    Option.iter
+      (fun path ->
+        Noc_sched.Schedule_io.save ~path winner.schedule;
+        Noc_obs.Log.infof "wrote schedule %s" path)
+      save;
+    report_certification ~label:"map winner"
+      (Noc_analysis.Certify.check
+         ~claimed_energy:metrics.Noc_sched.Metrics.total_energy platform ctg
+         winner.schedule);
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "map"
+       ~doc:"Anneal a task-to-tile mapping and print the Pareto candidates.")
+    Term.(term_result
+            (const run $ bench_arg $ mesh_arg $ tasks_arg $ tightness_arg
+             $ routing_arg $ input_arg $ file_arg $ chains_arg $ iters_arg
+             $ survivors_arg $ sa_seed_arg $ balance_arg $ latency_arg $ jobs_arg
+             $ save_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                            *)
@@ -683,12 +827,27 @@ let analyze_cmd =
 let experiment_cmd =
   let which_arg =
     let doc =
-      "Experiment id: fig5, fig6, tab1, tab2, tab3, fig7, split, ablation, topo,        weights, repairmoves, dvs, baselines, buffering or faults."
+      "Campaign id: fig5, fig6, tab1, tab2, tab3, fig7, split, ablation, topo, \
+       weights, repairmoves, dvs, baselines, buffering, faults or mapping. Omit \
+       the id to run every campaign (optionally filtered by $(b,--only))."
     in
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc)
+  in
+  let only_arg =
+    Arg.(value & opt_all string []
+         & info [ "only" ] ~docv:"CAMPAIGN"
+             ~doc:"With no positional id, run only this campaign (repeatable, \
+                   order preserved) instead of all of them. An unknown name \
+                   exits 2 listing the known campaigns.")
   in
   let quick_arg =
     Arg.(value & flag & info [ "quick" ] ~doc:"Scale the random suites down.")
+  in
+  let map_search_arg =
+    Arg.(value & flag
+         & info [ "map-search" ]
+             ~doc:"Add an annealed task-to-tile mapping row to the $(b,topo) \
+                   campaign (pinned-EAS evaluation of the search winner).")
   in
   let jobs_arg =
     Arg.(value & opt (some int) None
@@ -698,86 +857,134 @@ let experiment_cmd =
                    domain count of the machine. Results are identical at \
                    every job count.")
   in
-  let run which quick jobs obs =
+  let run which only quick map_search jobs obs =
     with_obs obs @@ fun () ->
     let scale = if quick then Some 0.2 else None in
     match jobs with
     | Some n when n < 1 -> Error (`Msg "--jobs must be at least 1")
-    | Some _ | None -> (
-    Noc_obs.Log.infof "experiment %s%s" which (if quick then " (quick)" else "");
-    match which with
-    | "fig5" ->
-      print_string
-        (Noc_experiments.Random_suite.render
-           (Noc_experiments.Random_suite.run ?jobs ?scale Noc_tgff.Category.Category_i));
-      Ok ()
-    | "fig6" ->
-      print_string
-        (Noc_experiments.Random_suite.render
-           (Noc_experiments.Random_suite.run ?jobs ?scale Noc_tgff.Category.Category_ii));
-      Ok ()
-    | "tab1" ->
-      print_string
-        (Noc_experiments.Msb_tables.render
-           (Noc_experiments.Msb_tables.run Noc_experiments.Msb_tables.Encoder));
-      Ok ()
-    | "tab2" ->
-      print_string
-        (Noc_experiments.Msb_tables.render
-           (Noc_experiments.Msb_tables.run Noc_experiments.Msb_tables.Decoder));
-      Ok ()
-    | "tab3" ->
-      print_string
-        (Noc_experiments.Msb_tables.render
-           (Noc_experiments.Msb_tables.run Noc_experiments.Msb_tables.Integrated));
-      Ok ()
-    | "fig7" ->
-      print_string (Noc_experiments.Tradeoff.render (Noc_experiments.Tradeoff.run ()));
-      Ok ()
-    | "split" ->
-      print_string
-        (Noc_experiments.Energy_split.render (Noc_experiments.Energy_split.run ()));
-      Ok ()
-    | "ablation" ->
-      print_string (Noc_experiments.Ablation.render (Noc_experiments.Ablation.run ?jobs ()));
-      Ok ()
-    | "topo" ->
-      print_string
-        (Noc_experiments.Topology_compare.render (Noc_experiments.Topology_compare.run ?jobs ()));
-      Ok ()
-    | "weights" ->
-      print_string
-        (Noc_experiments.Weight_ablation.render (Noc_experiments.Weight_ablation.run ?jobs ()));
-      Ok ()
-    | "repairmoves" ->
-      let scale = if quick then Some 0.3 else None in
-      print_string
-        (Noc_experiments.Repair_ablation.render (Noc_experiments.Repair_ablation.run ?jobs ?scale ()));
-      Ok ()
-    | "dvs" ->
-      print_string
-        (Noc_experiments.Dvs_extension.render (Noc_experiments.Dvs_extension.run ()));
-      Ok ()
-    | "baselines" ->
-      print_string
-        (Noc_experiments.Baselines_compare.render (Noc_experiments.Baselines_compare.run ?jobs ()));
-      Ok ()
-    | "buffering" ->
-      print_string (Noc_experiments.Buffering.render (Noc_experiments.Buffering.run ()));
-      Ok ()
-    | "faults" ->
-      let result =
-        if quick then
-          Noc_experiments.Fault_campaign.run ?jobs ~scale:0.08 ~n_graphs:2 ~n_trials:2 ()
-        else Noc_experiments.Fault_campaign.run ?jobs ()
+    | Some _ | None ->
+      let campaigns =
+        [
+          ( "fig5",
+            fun () ->
+              print_string
+                (Noc_experiments.Random_suite.render
+                   (Noc_experiments.Random_suite.run ?jobs ?scale
+                      Noc_tgff.Category.Category_i)) );
+          ( "fig6",
+            fun () ->
+              print_string
+                (Noc_experiments.Random_suite.render
+                   (Noc_experiments.Random_suite.run ?jobs ?scale
+                      Noc_tgff.Category.Category_ii)) );
+          ( "tab1",
+            fun () ->
+              print_string
+                (Noc_experiments.Msb_tables.render
+                   (Noc_experiments.Msb_tables.run Noc_experiments.Msb_tables.Encoder)) );
+          ( "tab2",
+            fun () ->
+              print_string
+                (Noc_experiments.Msb_tables.render
+                   (Noc_experiments.Msb_tables.run Noc_experiments.Msb_tables.Decoder)) );
+          ( "tab3",
+            fun () ->
+              print_string
+                (Noc_experiments.Msb_tables.render
+                   (Noc_experiments.Msb_tables.run
+                      Noc_experiments.Msb_tables.Integrated)) );
+          ( "fig7",
+            fun () ->
+              print_string (Noc_experiments.Tradeoff.render (Noc_experiments.Tradeoff.run ())) );
+          ( "split",
+            fun () ->
+              print_string
+                (Noc_experiments.Energy_split.render (Noc_experiments.Energy_split.run ())) );
+          ( "ablation",
+            fun () ->
+              print_string
+                (Noc_experiments.Ablation.render (Noc_experiments.Ablation.run ?jobs ())) );
+          ( "topo",
+            fun () ->
+              print_string
+                (Noc_experiments.Topology_compare.render
+                   (Noc_experiments.Topology_compare.run ?jobs ~map_search ())) );
+          ( "weights",
+            fun () ->
+              print_string
+                (Noc_experiments.Weight_ablation.render
+                   (Noc_experiments.Weight_ablation.run ?jobs ())) );
+          ( "repairmoves",
+            fun () ->
+              let scale = if quick then Some 0.3 else None in
+              print_string
+                (Noc_experiments.Repair_ablation.render
+                   (Noc_experiments.Repair_ablation.run ?jobs ?scale ())) );
+          ( "dvs",
+            fun () ->
+              print_string
+                (Noc_experiments.Dvs_extension.render (Noc_experiments.Dvs_extension.run ())) );
+          ( "baselines",
+            fun () ->
+              print_string
+                (Noc_experiments.Baselines_compare.render
+                   (Noc_experiments.Baselines_compare.run ?jobs ())) );
+          ( "buffering",
+            fun () ->
+              print_string (Noc_experiments.Buffering.render (Noc_experiments.Buffering.run ())) );
+          ( "faults",
+            fun () ->
+              let result =
+                if quick then
+                  Noc_experiments.Fault_campaign.run ?jobs ~scale:0.08 ~n_graphs:2
+                    ~n_trials:2 ()
+                else Noc_experiments.Fault_campaign.run ?jobs ()
+              in
+              print_string (Noc_experiments.Fault_campaign.render result) );
+          ( "mapping",
+            fun () ->
+              let p =
+                if quick then
+                  Noc_experiments.Topology_compare.pareto ?jobs ~meshes:[ (8, 8) ]
+                    ~scale:0.2 ()
+                else Noc_experiments.Topology_compare.pareto ?jobs ()
+              in
+              print_string (Noc_experiments.Topology_compare.render_pareto p) );
+        ]
       in
-      print_string (Noc_experiments.Fault_campaign.render result);
-      Ok ()
-    | other -> Error (`Msg (Printf.sprintf "unknown experiment %S" other)))
+      let known () = String.concat ", " (List.map fst campaigns) in
+      let find name =
+        match List.assoc_opt name campaigns with
+        | Some f -> Ok (name, f)
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "unknown experiment %S; known campaigns: %s" name
+                  (known ())))
+      in
+      let selected =
+        match (which, only) with
+        | Some _, _ :: _ ->
+          Error (`Msg "pass either a positional campaign id or --only, not both")
+        | Some id, [] -> Result.map (fun c -> [ c ]) (find id)
+        | None, [] -> Ok campaigns
+        | None, names ->
+          List.fold_left
+            (fun acc name ->
+              Result.bind acc (fun cs -> Result.map (fun c -> cs @ [ c ]) (find name)))
+            (Ok []) names
+      in
+      Result.map
+        (List.iter (fun (name, f) ->
+             Noc_obs.Log.infof "experiment %s%s" name (if quick then " (quick)" else "");
+             f ()))
+        selected
   in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate one of the paper's tables or figures.")
-    Term.(term_result (const run $ which_arg $ quick_arg $ jobs_arg $ obs_term))
+    Term.(term_result
+            (const run $ which_arg $ only_arg $ quick_arg $ map_search_arg
+             $ jobs_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -956,8 +1163,8 @@ let () =
   let group =
     Cmd.group info
       [
-        generate_cmd; schedule_cmd; simulate_cmd; analyze_cmd; experiment_cmd;
-        serve_cmd; trace_check_cmd;
+        generate_cmd; schedule_cmd; map_cmd; simulate_cmd; analyze_cmd;
+        experiment_cmd; serve_cmd; trace_check_cmd;
       ]
   in
   (* Uniform failure contract: unknown subcommands, malformed flags and

@@ -19,8 +19,8 @@ let count_misses ctg schedule =
         else acc)
     0 (Noc_ctg.Ctg.tasks ctg)
 
-let schedule ?(repair = true) ?comm_model ?degraded ?weighting ?kernel ?jobs
-    platform ctg =
+let schedule ?(repair = true) ?comm_model ?degraded ?weighting ?kernel ?pinned
+    ?jobs platform ctg =
   let span ?args name f = Noc_obs.Trace.span ~cat:"eas" ?args name f in
   span "eas/schedule"
     ~args:(fun () ->
@@ -38,14 +38,21 @@ let schedule ?(repair = true) ?comm_model ?degraded ?weighting ?kernel ?jobs
   let budget = span "eas/budget" (fun () -> Budget.compute ?weighting ~kernel ctg) in
   let base =
     span "eas/level_sched" (fun () ->
-        Level_sched.run ?comm_model ?degraded ~kernel ?jobs platform ctg budget)
+        Level_sched.run ?comm_model ?degraded ~kernel ?pinned ?jobs platform ctg
+          budget)
   in
   let misses_before_repair = count_misses ctg base in
+  (* Under a pinned mapping the repair pass may only reorder (LTS): a
+     GTM migration would silently change the assignment — and with it
+     the Eq.-3 energy the mapping search just optimised. *)
+  let moves =
+    match pinned with Some _ -> Some Repair.Lts_only | None -> None
+  in
   let repaired, repair_stats =
     if repair && misses_before_repair > 0 then
       let s, st =
         span "eas/repair" (fun () ->
-            Repair.run ?comm_model ?degraded ~kernel platform ctg base)
+            Repair.run ?comm_model ?degraded ~kernel ?moves platform ctg base)
       in
       (s, Some st)
     else (base, None)

@@ -21,6 +21,7 @@ val schedule :
   ?degraded:Noc_noc.Degraded.t ->
   ?weighting:Budget.weighting ->
   ?kernel:Kernel.t ->
+  ?pinned:int array ->
   ?jobs:int ->
   Noc_noc.Platform.t ->
   Noc_ctg.Ctg.t ->
@@ -37,7 +38,12 @@ val schedule :
     {!Kernel} is built once (span ["eas/kernel"]) and threaded through
     all three steps; pass [kernel] to reuse a prebuilt one across runs
     and [jobs] to parallelise Step 2's candidate probes (default 1;
-    placements are bit-identical at every job count). *)
+    placements are bit-identical at every job count).
+
+    [pinned] fixes the task-to-PE assignment (see {!Level_sched.run}):
+    Step 2 keeps only the timing machinery, and repair is restricted to
+    [Lts_only] reordering so the pinned mapping — and therefore the
+    Eq.-3 energy — is preserved end to end. *)
 
 val count_misses : Noc_ctg.Ctg.t -> Noc_sched.Schedule.t -> int
 (** Number of tasks whose scheduled finish exceeds their deadline. *)

@@ -79,7 +79,8 @@ let commit ?comm_model ?degraded ctg partial i k =
     (fun (tr : Schedule.transaction) -> partial.transactions.(tr.edge) <- Some tr)
     transactions
 
-let run ?comm_model ?degraded ?kernel ?(jobs = 1) platform ctg (budget : Budget.t) =
+let run ?comm_model ?degraded ?kernel ?pinned ?(jobs = 1) platform ctg
+    (budget : Budget.t) =
   let n = Noc_ctg.Ctg.n_tasks ctg in
   let n_pes = Noc_noc.Platform.n_pes platform in
   let pe_alive k =
@@ -89,6 +90,26 @@ let run ?comm_model ?degraded ?kernel ?(jobs = 1) platform ctg (budget : Budget.
   in
   if not (List.exists pe_alive (List.init n_pes Fun.id)) then
     invalid_arg "Level_sched.run: every PE is failed";
+  (match pinned with
+  | None -> ()
+  | Some m ->
+    if Array.length m <> n then
+      invalid_arg "Level_sched.run: pinned length <> task count";
+    Array.iter
+      (fun k ->
+        if k < 0 || k >= n_pes then
+          invalid_arg "Level_sched.run: pinned PE out of range";
+        if not (pe_alive k) then
+          invalid_arg "Level_sched.run: pinned PE is failed")
+      m);
+  (* The allowed candidate set of task [i]: all alive PEs, or the single
+     pinned one. With [pinned = None] this is [pe_alive] exactly, so the
+     unpinned path is untouched. *)
+  let allowed =
+    match pinned with
+    | None -> fun _ k -> pe_alive k
+    | Some m -> fun i k -> pe_alive k && m.(i) = k
+  in
   let kernel =
     match kernel with Some k -> k | None -> Kernel.build ?degraded platform ctg
   in
@@ -128,7 +149,7 @@ let run ?comm_model ?degraded ?kernel ?(jobs = 1) platform ctg (budget : Budget.
       let row = Array.make n_pes infinity in
       let order = ref [] in
       for k = n_pes - 1 downto 0 do
-        if pe_alive k then begin
+        if allowed i k then begin
           Noc_obs.Counters.incr c_energy;
           row.(k) <- assignment_energy kernel ctg partial i k;
           order := (row.(k), k) :: !order
@@ -239,7 +260,7 @@ let run ?comm_model ?degraded ?kernel ?(jobs = 1) platform ctg (budget : Budget.
       if bdi < infinity then begin
         let pendings = Option.get pendings_cache.(i) in
         for k = 0 to n_pes - 1 do
-          if pe_alive k then begin
+          if allowed i k then begin
             let lb_drt =
               List.fold_left
                 (fun acc (p : Comm_sched.pending) ->
@@ -321,7 +342,7 @@ let run ?comm_model ?degraded ?kernel ?(jobs = 1) platform ctg (budget : Budget.
         (fun i ->
           for k = 0 to n_pes - 1 do
             let idx = (i * n_pes) + k in
-            if pe_alive k && not (valid idx) then refresh idx
+            if allowed i k && not (valid idx) then refresh idx
           done)
         rtl;
     let rta = Array.of_list rtl in
@@ -341,8 +362,10 @@ let run ?comm_model ?degraded ?kernel ?(jobs = 1) platform ctg (budget : Budget.
                ranks violators by margin and sends the worst to its
                fastest PE, so this (rare) row must be exact. *)
             for k = 0 to n_pes - 1 do
-              if pe_alive k && not (valid (base + k)) then refresh (base + k)
+              if allowed i k && not (valid (base + k)) then refresh (base + k)
             done;
+            (* Disallowed entries stay [infinity] and never win the
+               argmin below. *)
             let m = ref f.(base) in
             for k = 1 to n_pes - 1 do
               m := Float.min !m f.(base + k)

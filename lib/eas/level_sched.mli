@@ -29,6 +29,7 @@ val run :
   ?comm_model:Noc_sched.Comm_sched.model ->
   ?degraded:Noc_noc.Degraded.t ->
   ?kernel:Kernel.t ->
+  ?pinned:int array ->
   ?jobs:int ->
   Noc_noc.Platform.t ->
   Noc_ctg.Ctg.t ->
@@ -40,9 +41,19 @@ val run :
     [Invalid_argument] when the fault set makes the graph unschedulable
     (every PE failed, or a task unreachable from its predecessors on
     every alive PE). [kernel] (built on demand otherwise) must describe
-    the same platform/graph/fault-set triple. [jobs] (default 1)
-    fans the stale-probe refresh of each iteration out over a
-    {!Noc_util.Pool}; the probes are read-only and land in disjoint
-    slots, so every job count yields bit-identical placements — the
-    selection rules always reduce over the full F matrix in index
+    the same platform/graph/fault-set triple.
+
+    [pinned] restricts each task [i]'s candidate set to the single PE
+    [pinned.(i)] — the mapping-search front-end ([lib/map])
+    fixes the assignment and keeps only the timing machinery (levels,
+    communication scheduling, earliest gaps). Selection rules degenerate
+    gracefully: every candidate list is a singleton, so Rule 4 regrets
+    are all infinite and the ready list drains in order, while Rule 3
+    still front-runs certain violators. Raises [Invalid_argument] on a
+    length mismatch, an out-of-range PE or a pinned-but-failed PE.
+
+    [jobs] (default 1) fans the stale-probe refresh of each iteration
+    out over a {!Noc_util.Pool}; the probes are read-only and land in
+    disjoint slots, so every job count yields bit-identical placements —
+    the selection rules always reduce over the full F matrix in index
     order. Keep the default inside already-parallel campaign workers. *)

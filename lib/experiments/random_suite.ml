@@ -24,15 +24,11 @@ let run ?jobs ?(indices = List.init 10 Fun.id) ?scale kind =
   let rows =
     Noc_util.Pool.map_list ?jobs
       (fun index ->
-        let seed =
-          (match kind with
-          | Noc_tgff.Category.Category_i -> 1_000
-          | Noc_tgff.Category.Category_ii -> 2_000)
-          + index
-        in
+        let seed = Noc_tgff.Category.seed_of kind index in
         Runner.traced ~label:(Printf.sprintf "random_suite/%s/seed=%d" (match kind with
           | Noc_tgff.Category.Category_i -> "cat_i"
-          | Noc_tgff.Category.Category_ii -> "cat_ii") seed)
+          | Noc_tgff.Category.Category_ii -> "cat_ii"
+          | Noc_tgff.Category.Category_iii -> "cat_iii") seed)
         @@ fun () ->
         let ctg = Noc_tgff.Generate.generate ~params ~platform ~seed in
         {
@@ -59,6 +55,7 @@ let run ?jobs ?(indices = List.init 10 Fun.id) ?scale kind =
 let kind_name = function
   | Noc_tgff.Category.Category_i -> "category I"
   | Noc_tgff.Category.Category_ii -> "category II"
+  | Noc_tgff.Category.Category_iii -> "category III"
 
 let render result =
   let cell = Noc_util.Text_table.float_cell ~decimals:0 in

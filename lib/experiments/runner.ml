@@ -25,20 +25,24 @@ let traced ~label f =
         ~args:(fun () -> [ ("trial", Noc_obs.Trace.String label) ])
         f)
 
-let schedule_of ?comm_model ?jobs algo platform ctg =
+let schedule_of ?comm_model ?pinned ?jobs algo platform ctg =
   match algo with
-  | Eas -> (Noc_eas.Eas.schedule ?comm_model ?jobs platform ctg).schedule
+  | Eas -> (Noc_eas.Eas.schedule ?comm_model ?pinned ?jobs platform ctg).schedule
   | Eas_base ->
-    (Noc_eas.Eas.schedule ~repair:false ?comm_model ?jobs platform ctg).schedule
-  | Edf -> (Noc_edf.Edf.schedule ?comm_model platform ctg).schedule
+    (Noc_eas.Eas.schedule ~repair:false ?comm_model ?pinned ?jobs platform ctg)
+      .schedule
+  | Edf ->
+    if pinned <> None then
+      invalid_arg "Runner.schedule_of: EDF does not take a pinned mapping";
+    (Noc_edf.Edf.schedule ?comm_model platform ctg).schedule
 
-let evaluate ?comm_model ?jobs algo platform ctg =
+let evaluate ?comm_model ?pinned ?jobs algo platform ctg =
   Noc_obs.Log.debugf "evaluate %s: %d tasks on %d PEs" (algo_name algo)
     (Noc_ctg.Ctg.n_tasks ctg)
     (Noc_noc.Platform.n_pes platform);
   let runtime_seconds, schedule =
     let t0 = Noc_util.Clock.wall_s () in
-    let s = schedule_of ?comm_model ?jobs algo platform ctg in
+    let s = schedule_of ?comm_model ?pinned ?jobs algo platform ctg in
     (Noc_util.Clock.wall_s () -. t0, s)
   in
   let metrics = Noc_sched.Metrics.compute platform ctg schedule in

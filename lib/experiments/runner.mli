@@ -25,6 +25,7 @@ val traced : label:string -> (unit -> 'a) -> 'a
 
 val evaluate :
   ?comm_model:Noc_sched.Comm_sched.model ->
+  ?pinned:int array ->
   ?jobs:int ->
   algo ->
   Noc_noc.Platform.t ->
@@ -33,6 +34,7 @@ val evaluate :
 
 val schedule_of :
   ?comm_model:Noc_sched.Comm_sched.model ->
+  ?pinned:int array ->
   ?jobs:int ->
   algo ->
   Noc_noc.Platform.t ->
@@ -40,7 +42,9 @@ val schedule_of :
   Noc_sched.Schedule.t
 (** [jobs] parallelises the EAS candidate walks on {!Noc_util.Pool}
     (default 1; EDF ignores it). Schedules are bit-identical at every
-    job count. *)
+    job count. [pinned] fixes the task-to-PE assignment for the EAS
+    variants (see {!Noc_eas.Eas.schedule}); EDF raises
+    [Invalid_argument] when given one. *)
 
 val savings : baseline:float -> float -> float
 (** [savings ~baseline v] is [(baseline - v) / baseline]; the paper's

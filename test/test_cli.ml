@@ -66,8 +66,45 @@ let test_simulate () =
     (contains text "planned" && contains text "realised")
 
 let test_experiment_unknown () =
-  let code, _ = run_capture "experiment nonsense" in
-  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+  let code, text = run_capture "experiment nonsense" in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0);
+  Alcotest.(check bool) "lists known campaigns" true
+    (contains text "known campaigns" && contains text "mapping")
+
+let test_experiment_only () =
+  let code, text = run_capture "experiment --only split" in
+  Alcotest.(check int) "--only split exit 0" 0 code;
+  Alcotest.(check bool) "ran the split campaign" true
+    (contains text "Energy breakdown");
+  let code, text = run_capture "experiment --only split --only fig7" in
+  Alcotest.(check int) "repeated --only exit 0" 0 code;
+  Alcotest.(check bool) "ran both campaigns" true
+    (contains text "Energy breakdown" && contains text "trade-off");
+  let code, text = run_capture "experiment --only bogus" in
+  Alcotest.(check int) "--only bogus exit 2" 2 code;
+  Alcotest.(check bool) "unknown --only lists known campaigns" true
+    (contains text "known campaigns");
+  let code, _ = run_capture "experiment split --only fig7" in
+  Alcotest.(check int) "positional plus --only exit 2" 2 code
+
+let test_map_cmd () =
+  let code, text =
+    run_capture "map --benchmark tgff:1 --tasks 30 --tightness 8 --iters 2000"
+  in
+  Alcotest.(check int) "map exit 0" 0 code;
+  Alcotest.(check bool) "prints the candidate table" true
+    (contains text "identity");
+  Alcotest.(check bool) "prints the winner metrics" true
+    (contains text "winner" && contains text "energy")
+
+let test_schedule_map_search () =
+  let code, text =
+    run_capture "schedule --benchmark tgff:1 --tasks 30 --tightness 8 --map-search"
+  in
+  Alcotest.(check int) "schedule --map-search exit 0" 0 code;
+  Alcotest.(check bool) "prints energy" true (contains text "energy");
+  let code, _ = run_capture "schedule --algo edf --map-search" in
+  Alcotest.(check int) "EDF rejects --map-search" 2 code
 
 let test_bad_benchmark () =
   let code, _ = run_capture "schedule --benchmark bogus" in
@@ -191,6 +228,9 @@ let suite =
     Alcotest.test_case "file roundtrip" `Quick test_schedule_roundtrip_files;
     Alcotest.test_case "simulate" `Quick test_simulate;
     Alcotest.test_case "unknown experiment" `Quick test_experiment_unknown;
+    Alcotest.test_case "experiment --only" `Quick test_experiment_only;
+    Alcotest.test_case "map" `Quick test_map_cmd;
+    Alcotest.test_case "schedule --map-search" `Quick test_schedule_map_search;
     Alcotest.test_case "bad benchmark" `Quick test_bad_benchmark;
     Alcotest.test_case "stdin via -" `Quick test_stdin_dash;
     Alcotest.test_case "usage errors exit 2" `Quick test_usage_errors_exit_2;

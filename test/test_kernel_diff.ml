@@ -29,7 +29,10 @@ let tgff_case kind ~n_tasks ~seed =
   {
     label =
       Printf.sprintf "%s/%d-tasks/seed-%d"
-        (match kind with Category.Category_i -> "cat-i" | Category.Category_ii -> "cat-ii")
+        (match kind with
+        | Category.Category_i -> "cat-i"
+        | Category.Category_ii -> "cat-ii"
+        | Category.Category_iii -> "cat-iii")
         n_tasks seed;
     platform;
     degraded = None;

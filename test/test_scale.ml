@@ -1,0 +1,74 @@
+(* Big-mesh scale checks backing the category-III preset: generation
+   must stay sub-second at ~2000 tasks, the turn-model relation proofs
+   must stay clean (and tractable) on the 16x16 acceptance mesh, and a
+   sustained-flow QoS check on that mesh must come back feasible. The
+   runtime bounds are deliberately loose (CI machines vary); locally
+   the proofs run in ~0.3-2 s and generation in ~0.03 s. *)
+
+module Category = Noc_tgff.Category
+module Deadlock = Noc_analysis.Deadlock
+module Qos = Noc_analysis.Qos
+
+let big_mesh () = Noc_noc.Platform.heterogeneous_mesh ~seed:42 ~cols:16 ~rows:16 ()
+
+let test_category_iii_generation () =
+  let platform = big_mesh () in
+  let t0 = Noc_util.Clock.wall_s () in
+  let ctg = Category.benchmark ~platform Category.Category_iii ~index:1 in
+  let elapsed = Noc_util.Clock.wall_s () -. t0 in
+  Alcotest.(check int) "2000 tasks" 2_000 (Noc_ctg.Ctg.n_tasks ctg);
+  (* Arc density: the preset documents ~2 arcs per task. *)
+  let edges = Noc_ctg.Ctg.n_edges ctg in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d edges within 1.5-2.5 per task" edges)
+    true
+    (edges >= 3_000 && edges <= 5_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "generation took %.3f s (< 1 s)" elapsed)
+    true (elapsed < 1.0)
+
+let test_deadlock_proofs_16x16 () =
+  let platform = big_mesh () in
+  List.iter
+    (fun routing ->
+      let t0 = Noc_util.Clock.wall_s () in
+      let diagnostics = Deadlock.check_routing ~routing platform in
+      let elapsed = Noc_util.Clock.wall_s () -. t0 in
+      Alcotest.(check int)
+        (Printf.sprintf "%s relation proof clean on 16x16"
+           (Noc_noc.Turn_model.name routing))
+        0
+        (List.length diagnostics);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s proof took %.3f s (< 30 s)"
+           (Noc_noc.Turn_model.name routing) elapsed)
+        true (elapsed < 30.))
+    [ Noc_noc.Turn_model.Xy; Noc_noc.Turn_model.West_first;
+      Noc_noc.Turn_model.Odd_even ]
+
+let test_qos_16x16 () =
+  let platform = big_mesh () in
+  let n_pes = Noc_noc.Platform.n_pes platform in
+  (* A spread of long-haul sustained flows at modest rates: feasible,
+     but only if the allocator actually routes all of them. *)
+  let flows =
+    List.init 300 (fun i ->
+        { Qos.id = i; src = i mod n_pes; dst = (i * 37 + 11) mod n_pes; rate = 8. })
+    |> List.filter (fun (f : Qos.flow) -> f.src <> f.dst)
+  in
+  let report = Qos.check platform flows in
+  Alcotest.(check int) "no QoS diagnostics" 0 (List.length report.Qos.diagnostics);
+  List.iter
+    (fun load ->
+      Alcotest.(check bool) "every link within capacity" true
+        (Qos.utilization load <= 1.))
+    report.Qos.loads
+
+let suite =
+  [
+    Alcotest.test_case "category III generates sub-second" `Quick
+      test_category_iii_generation;
+    Alcotest.test_case "turn-model proofs clean on 16x16" `Quick
+      test_deadlock_proofs_16x16;
+    Alcotest.test_case "QoS feasibility on 16x16" `Quick test_qos_16x16;
+  ]

@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-json bench-parallel bench-obs bench-serve bench-routing bench-mapping serve-smoke trace-smoke quick-bench analyze analyze-adaptive verify examples doc clean
+.PHONY: all build test bench bench-json bench-parallel bench-obs bench-serve bench-routing bench-mapping bench-dvfs serve-smoke trace-smoke quick-bench analyze analyze-adaptive verify examples doc clean
 
 all: build
 
@@ -75,6 +75,16 @@ bench-routing:
 bench-mapping:
 	dune exec bench/main.exe -- mapping
 
+# DVFS slack-reclamation gate: the EAS vs EAS+DVFS ablation over the
+# category I/II suites and the MSB A/V benchmarks must reclaim energy
+# on every category-I instance, introduce no deadline miss the unscaled
+# schedule did not have, pass check_scaled certification on every
+# scaled schedule, and produce bit-identical rows at --jobs 1/2/4.
+# Writes BENCH_dvfs.json (committed).
+# usage: make bench-dvfs              # writes + gates BENCH_dvfs.json
+bench-dvfs:
+	dune exec bench/main.exe -- dvfs
+
 # End-to-end daemon smoke: start `nocsched serve` on a private socket,
 # run a schedule and an incremental reschedule through the client, ask
 # for a clean shutdown, and require every reply to be ok. The built
@@ -132,9 +142,9 @@ analyze-adaptive: build
 # parallel-execution determinism/speedup, the observability
 # overhead/determinism gate, the scheduling-service latency gate, the
 # turn-model routing gate, the mapping-search delta-eval/Pareto gate,
-# and the fault-campaign survivability table written to
-# BENCH_faults.json).
-verify: build test analyze analyze-adaptive trace-smoke serve-smoke bench-json bench-parallel bench-obs bench-serve bench-routing bench-mapping
+# the DVFS slack-reclamation gate, and the fault-campaign survivability
+# table written to BENCH_faults.json).
+verify: build test analyze analyze-adaptive trace-smoke serve-smoke bench-json bench-parallel bench-obs bench-serve bench-routing bench-mapping bench-dvfs
 	dune exec bench/main.exe -- faults
 
 examples:

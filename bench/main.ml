@@ -728,6 +728,7 @@ module Serve_bench = struct
                    mesh = (4, 4);
                    algo = Noc_experiments.Runner.Eas;
                    decisions = false;
+                   dvfs = None;
                  })))
         graphs
     in
@@ -1340,6 +1341,126 @@ module Mapping_bench = struct
     end
 end
 
+(* DVFS slack-reclamation gate (dvfs): runs the EAS vs EAS+DVFS
+   ablation campaign and persists BENCH_dvfs.json.
+
+   Four gates:
+   - Every category-I row must reclaim energy (> 0 nJ): the paper's
+     sparse suites leave real slack, so a zero here means the pass
+     stopped finding it.
+   - No scaled schedule may miss a deadline its unscaled schedule met
+     (the reclamation pass only ever slows a task into proven slack).
+   - Every scaled schedule must pass [Certify.check_scaled] — the gate
+     counts certification failures and requires zero.
+   - The campaign's rows must be structurally identical at
+     --jobs 1/2/4 (fixed work list fanned over the pool). *)
+module Dvfs_bench = struct
+  module C = Noc_experiments.Dvfs_campaign
+
+  let digest rows =
+    List.map
+      (fun (r : C.row) ->
+        ( r.name, r.tasks, r.eas_energy, r.dvfs_energy, r.downclocked,
+          r.base_misses, r.scaled_misses, r.certified ))
+      rows
+
+  let run ~quick file =
+    let oc =
+      try open_out file
+      with Sys_error msg ->
+        Printf.eprintf "cannot write bench output: %s\n" msg;
+        exit 1
+    in
+    let campaign jobs =
+      if quick then C.run ~jobs ~indices:[ 0; 1 ] ~scale:0.3 ()
+      else C.run ~jobs ()
+    in
+    let rows = campaign 1 in
+    let jobs_invariant =
+      digest (campaign 2) = digest rows && digest (campaign 4) = digest rows
+    in
+    let cat1 = List.filter (fun (r : C.row) -> r.category = "cat1") rows in
+    let cat1_reclaims =
+      cat1 <> [] && List.for_all (fun (r : C.row) -> r.reclaimed > 0.) cat1
+    in
+    let new_misses =
+      List.exists (fun (r : C.row) -> r.scaled_misses > r.base_misses) rows
+    in
+    let cert_failures =
+      List.length (List.filter (fun (r : C.row) -> not r.certified) rows)
+    in
+    let total_before =
+      List.fold_left (fun a (r : C.row) -> a +. r.eas_energy) 0. rows
+    in
+    let total_after =
+      List.fold_left (fun a (r : C.row) -> a +. r.dvfs_energy) 0. rows
+    in
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n";
+    Buffer.add_string buf "  \"schema\": \"nocsched/bench-dvfs/v1\",\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  \"vf_levels\": \"%s\",\n"
+         (Noc_dvfs.Vf_table.to_string Noc_dvfs.Vf_table.default));
+    Buffer.add_string buf "  \"rows\": [\n";
+    List.iteri
+      (fun i (r : C.row) ->
+        Buffer.add_string buf
+          (Printf.sprintf
+             "    {\"name\": \"%s\", \"category\": \"%s\", \"tasks\": %d, \
+              \"eas_nj\": %.1f, \"dvfs_nj\": %.1f, \"saving_pct\": %.1f, \
+              \"downclocked\": %d, \"base_misses\": %d, \"scaled_misses\": %d, \
+              \"certified\": %b}%s\n"
+             r.name r.category r.tasks r.eas_energy r.dvfs_energy
+             (C.saving r *. 100.)
+             r.downclocked r.base_misses r.scaled_misses r.certified
+             (if i < List.length rows - 1 then "," else "")))
+      rows;
+    Buffer.add_string buf "  ],\n";
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"total_eas_nj\": %.1f,\n  \"total_dvfs_nj\": %.1f,\n\
+         \  \"total_saving_pct\": %.1f,\n"
+         total_before total_after
+         ((total_before -. total_after) /. total_before *. 100.));
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  \"gate\": {\"cat1_reclaims\": %b, \"no_new_misses\": %b, \
+          \"cert_failures\": %d, \"jobs_invariant\": %b}\n"
+         cat1_reclaims (not new_misses) cert_failures jobs_invariant);
+    Buffer.add_string buf "}\n";
+    output_string oc (Buffer.contents buf);
+    close_out oc;
+    print_string (C.render rows);
+    Printf.printf
+      "total %.1f -> %.1f nJ (%.1f%% reclaimed); jobs invariant: %b\n"
+      total_before total_after
+      ((total_before -. total_after) /. total_before *. 100.)
+      jobs_invariant;
+    Printf.printf "wrote %s\n" file;
+    if not cat1_reclaims then begin
+      Printf.eprintf
+        "bench gate FAILED: a category-I benchmark reclaimed no energy\n";
+      exit 1
+    end;
+    if new_misses then begin
+      Printf.eprintf
+        "bench gate FAILED: a scaled schedule misses a deadline its unscaled \
+         schedule met\n";
+      exit 1
+    end;
+    if cert_failures > 0 then begin
+      Printf.eprintf
+        "bench gate FAILED: %d scaled schedule(s) failed certification\n"
+        cert_failures;
+      exit 1
+    end;
+    if not jobs_invariant then begin
+      Printf.eprintf
+        "bench gate FAILED: dvfs campaign rows differ across --jobs 1/2/4\n";
+      exit 1
+    end
+end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (match args with
@@ -1356,7 +1477,7 @@ let () =
     [
       "fig5"; "fig6"; "tab1"; "tab2"; "tab3"; "fig7"; "split"; "ablation"; "topo";
       "weights"; "repairmoves"; "dvs"; "baselines"; "buffering"; "faults";
-      "parallel"; "obs"; "serve"; "routing"; "mapping";
+      "parallel"; "obs"; "serve"; "routing"; "mapping"; "dvfs";
     ]
   in
   let wanted = if wanted = [] then all else wanted in
@@ -1394,6 +1515,9 @@ let () =
       | "mapping" ->
         section "Mapping search: delta-eval, determinism and Pareto gate";
         Mapping_bench.run ~quick "BENCH_mapping.json"
+      | "dvfs" ->
+        section "DVFS slack reclamation: energy, deadline and certification gate";
+        Dvfs_bench.run ~quick "BENCH_dvfs.json"
       | "micro" -> micro ()
       | other ->
         Printf.eprintf "unknown experiment %S (known: %s micro)\n" other

@@ -121,6 +121,14 @@ let algo_arg =
   Arg.(value & opt algo_conv Noc_experiments.Runner.Eas
        & info [ "algo" ] ~docv:"ALGO" ~doc:"Scheduler: eas, eas-base or edf.")
 
+let vf_conv =
+  let parse s =
+    match Noc_dvfs.Vf_table.of_string s with
+    | Ok t -> Ok t
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, Noc_dvfs.Vf_table.pp)
+
 (* CTG inputs accept "-" for stdin everywhere a path is taken, so
    graphs can be piped: `nocsched generate ... | nocsched schedule -`. *)
 let read_ctg_text path =
@@ -344,12 +352,31 @@ let schedule_cmd =
                    $(b,--jobs)) and pin the EAS variants to the winner. EDF \
                    ignores placement, so it rejects this flag.")
   in
+  let dvfs_arg =
+    Arg.(value & flag
+         & info [ "dvfs" ]
+             ~doc:"After scheduling, run the DVFS slack-reclamation pass: \
+                   downclock every task to the lowest $(b,--vf-levels) \
+                   frequency that still fits its slack, re-certify the scaled \
+                   schedule, and save it (format v3) when $(b,--save-schedule) \
+                   is given. Start times, communication windows and deadlines \
+                   are untouched.")
+  in
+  let vf_levels_arg =
+    Arg.(value & opt (some vf_conv) None
+         & info [ "vf-levels" ] ~docv:"R1,R2,..."
+             ~doc:"Discrete frequency ladder as f/f_max ratios in (0, 1], \
+                   e.g. $(b,1,0.8,0.6,0.5) (the default). Must include 1; \
+                   needs $(b,--dvfs).")
+  in
   let run spec algo mesh tasks tightness routing gantt input save utilization svg
-      file jobs map_search obs =
+      file jobs map_search dvfs vf_levels obs =
     with_obs obs @@ fun () ->
     (match jobs with
     | Some n when n < 1 -> failwith "--jobs must be at least 1"
     | Some _ | None -> ());
+    if vf_levels <> None && not dvfs then
+      failwith "--vf-levels only makes sense with --dvfs";
     let input = match file with Some _ -> file | None -> input in
     let platform, ctg =
       match input with
@@ -393,9 +420,47 @@ let schedule_cmd =
     in
     if resource_violations > 0 then
       Noc_obs.Log.warnf "%d resource violations" resource_violations;
+    (* EAS Step 4: downclock the committed schedule into its slack. The
+       scaled schedule is what --save-schedule persists (format v3); the
+       printed Eq.-3 metrics above stay those of the unscaled base. *)
+    let dvfs_result =
+      if not dvfs then None
+      else begin
+        let table = Option.value ~default:Noc_dvfs.Vf_table.default vf_levels in
+        let r = Noc_dvfs.Reclaim.run ~table ctg schedule in
+        let before = r.Noc_dvfs.Reclaim.computation_energy_before in
+        let after = r.Noc_dvfs.Reclaim.computation_energy_after in
+        let saved = Noc_dvfs.Reclaim.reclaimed r in
+        let comm =
+          metrics.Noc_sched.Metrics.total_energy
+          -. metrics.Noc_sched.Metrics.computation_energy
+        in
+        Format.printf "dvfs: levels {%s} x f_max, %d/%d tasks downclocked@."
+          (Noc_dvfs.Vf_table.to_string table)
+          r.Noc_dvfs.Reclaim.downclocked (Noc_ctg.Ctg.n_tasks ctg);
+        Format.printf
+          "dvfs: computation energy %.1f -> %.1f nJ (reclaimed %.1f nJ, %.1f%%), \
+           total %.1f -> %.1f nJ@."
+          before after saved
+          (if before > 0. then 100. *. saved /. before else 0.)
+          (before +. comm) (after +. comm);
+        let scaled_misses =
+          Noc_sched.Metrics.miss_count
+            (Noc_sched.Metrics.compute platform ctg r.Noc_dvfs.Reclaim.schedule)
+        in
+        if scaled_misses > Noc_sched.Metrics.miss_count metrics then
+          Noc_obs.Log.errorf "dvfs: reclamation introduced deadline misses (%d)"
+            scaled_misses;
+        Some (table, r)
+      end
+    in
     Option.iter
       (fun path ->
-        Noc_sched.Schedule_io.save ~path schedule;
+        (match dvfs_result with
+        | Some (_, r) ->
+          Noc_sched.Schedule_io.save ~dvfs:r.Noc_dvfs.Reclaim.annotations ~path
+            r.Noc_dvfs.Reclaim.schedule
+        | None -> Noc_sched.Schedule_io.save ~path schedule);
         Noc_obs.Log.infof "wrote schedule %s" path)
       save;
     Option.iter
@@ -411,6 +476,14 @@ let schedule_cmd =
       (Noc_analysis.Certify.check
          ~claimed_energy:metrics.Noc_sched.Metrics.total_energy platform ctg
          schedule);
+    (match dvfs_result with
+    | None -> ()
+    | Some (table, r) ->
+      report_certification ~label:"dvfs schedule"
+        (Noc_analysis.Certify.check_scaled
+           ~ratios:(Noc_dvfs.Vf_table.ratios table)
+           ~annotations:r.Noc_dvfs.Reclaim.annotations ~base:schedule platform ctg
+           r.Noc_dvfs.Reclaim.schedule));
     Ok ()
   in
   Cmd.v
@@ -418,7 +491,8 @@ let schedule_cmd =
     Term.(term_result
             (const run $ bench_arg $ algo_arg $ mesh_arg $ tasks_arg $ tightness_arg
              $ routing_arg $ gantt_arg $ input_arg $ save_arg $ utilization_arg
-             $ svg_arg $ file_arg $ jobs_arg $ map_search_arg $ obs_term))
+             $ svg_arg $ file_arg $ jobs_arg $ map_search_arg $ dvfs_arg
+             $ vf_levels_arg $ obs_term))
 
 (* ------------------------------------------------------------------ *)
 (* map                                                                 *)
@@ -662,6 +736,58 @@ let simulate_cmd =
 (* ------------------------------------------------------------------ *)
 (* analyze                                                             *)
 
+(* A version-3 schedule file carries per-task (level, freq, energy) but
+   neither the unscaled base nor the full ladder. Both are implied: the
+   reclamation pass freezes starts, so the base window is the scaled one
+   shrunk by the recorded ratio, and any level no task sits at can take
+   an arbitrary strictly-descending value — no per-task rule ever reads
+   it, only the ladder's monotonicity check does. *)
+let ladder_of_annotations path
+    (annotations : Noc_sched.Schedule_io.annotation array) =
+  let max_level =
+    Array.fold_left
+      (fun m (a : Noc_sched.Schedule_io.annotation) -> max m a.level)
+      0 annotations
+  in
+  if max_level > 4096 then
+    failwith
+      (Printf.sprintf "%s: dvfs level %d is not a plausible ladder index" path
+         max_level);
+  let ratios = Array.make (max_level + 1) Float.nan in
+  ratios.(0) <- 1.;
+  Array.iter
+    (fun (a : Noc_sched.Schedule_io.annotation) -> ratios.(a.level) <- a.freq)
+    annotations;
+  let n = Array.length ratios in
+  for i = 1 to n - 1 do
+    if Float.is_nan ratios.(i) then begin
+      let j = ref (i + 1) in
+      while Float.is_nan ratios.(!j) do incr j done;
+      let step =
+        (ratios.(!j) -. ratios.(i - 1)) /. float_of_int (!j - (i - 1))
+      in
+      for k = i to !j - 1 do
+        ratios.(k) <- ratios.(i - 1) +. (step *. float_of_int (k - (i - 1)))
+      done
+    end
+  done;
+  ratios
+
+let base_of_annotations scaled
+    (annotations : Noc_sched.Schedule_io.annotation array) =
+  let placements =
+    Array.map
+      (fun (a : Noc_sched.Schedule_io.annotation) ->
+        let p = Noc_sched.Schedule.placement scaled a.task in
+        { p with
+          Noc_sched.Schedule.finish =
+            p.start +. ((p.finish -. p.start) *. a.freq)
+        })
+      annotations
+  in
+  Noc_sched.Schedule.make ~placements
+    ~transactions:(Noc_sched.Schedule.transactions scaled)
+
 let analyze_cmd =
   let ctg_arg =
     Arg.(value & opt (some string) None
@@ -732,20 +858,35 @@ let analyze_cmd =
         | None, _ -> ([], None)
         | Some _, None -> failwith "--schedule needs a task graph (omit --platform)"
         | Some path, Some ctg -> (
-          match Noc_sched.Schedule_io.load ~path platform ctg with
+          match Noc_sched.Schedule_io.load_full ~path platform ctg with
           | Error msg -> failwith (path ^ ": " ^ msg)
-          | Ok schedule ->
-            let claimed =
-              (Noc_sched.Metrics.compute platform ctg schedule)
-                .Noc_sched.Metrics.total_energy
-            in
+          | Ok (schedule, dvfs) ->
             let qos =
               Noc_analysis.Qos.check platform
                 (Noc_analysis.Qos.flows_of_schedule ctg schedule)
             in
-            ( Noc_analysis.Certify.check ~claimed_energy:claimed platform ctg schedule
-              @ qos.Noc_analysis.Qos.diagnostics,
-              Some qos ))
+            let certifier =
+              match dvfs with
+              | None ->
+                let claimed =
+                  (Noc_sched.Metrics.compute platform ctg schedule)
+                    .Noc_sched.Metrics.total_energy
+                in
+                Noc_analysis.Certify.check ~claimed_energy:claimed platform ctg
+                  schedule
+              | Some annotations ->
+                let ratios = ladder_of_annotations path annotations in
+                let base = base_of_annotations schedule annotations in
+                let claimed =
+                  (Noc_sched.Metrics.compute platform ctg base)
+                    .Noc_sched.Metrics.total_energy
+                in
+                Noc_analysis.Certify.check ~claimed_energy:claimed platform ctg
+                  base
+                @ Noc_analysis.Certify.check_scaled ~ratios ~annotations ~base
+                    platform ctg schedule
+            in
+            (certifier @ qos.Noc_analysis.Qos.diagnostics, Some qos))
       in
       let diagnostics =
         Noc_analysis.Diagnostic.sort
@@ -924,6 +1065,15 @@ let experiment_cmd =
             fun () ->
               print_string
                 (Noc_experiments.Dvs_extension.render (Noc_experiments.Dvs_extension.run ())) );
+          ( "dvfs",
+            fun () ->
+              let rows =
+                match scale with
+                | Some scale ->
+                  Noc_experiments.Dvfs_campaign.run ?jobs ~indices:[ 0; 1 ] ~scale ()
+                | None -> Noc_experiments.Dvfs_campaign.run ?jobs ()
+              in
+              print_string (Noc_experiments.Dvfs_campaign.render rows) );
           ( "baselines",
             fun () ->
               print_string
@@ -1043,6 +1193,18 @@ let serve_cmd =
              ~doc:"Ask for the EAS decision log in the $(b,--call) schedule \
                    reply.")
   in
+  let serve_dvfs_arg =
+    Arg.(value & flag
+         & info [ "dvfs" ]
+             ~doc:"Ask for DVFS slack reclamation in the $(b,--call) schedule \
+                   reply (cached under its own key, never aliasing the \
+                   unscaled schedule).")
+  in
+  let serve_vf_levels_arg =
+    Arg.(value & opt (some vf_conv) None
+         & info [ "vf-levels" ] ~docv:"RATIOS"
+             ~doc:"V/f ladder for $(b,--call) schedule with $(b,--dvfs).")
+  in
   let stats_arg =
     Arg.(value & flag
          & info [ "stats" ]
@@ -1055,18 +1217,22 @@ let serve_cmd =
              ~doc:"Client mode: connection attempts 50 ms apart, so a freshly \
                    started daemon has time to bind its socket.")
   in
-  let build_call op ~input ~mesh ~algo ~faults ~self_timed ~decisions =
+  let build_call op ~input ~mesh ~algo ~faults ~self_timed ~decisions ~dvfs =
     let ctg_text () =
       match input with
       | Some path -> read_ctg_text path
       | None -> failwith ("--call " ^ op ^ " needs --input FILE")
     in
+    (match (op, dvfs) with
+    | "schedule", _ | _, None -> ()
+    | other, Some _ -> failwith ("--dvfs only makes sense with --call schedule, not " ^ other));
     match op with
     | "stats" -> Noc_serve.Protocol.(request_to_line Stats)
     | "shutdown" -> Noc_serve.Protocol.(request_to_line Shutdown)
     | "schedule" ->
       Noc_serve.Protocol.(
-        request_to_line (Schedule { ctg_text = ctg_text (); mesh; algo; decisions }))
+        request_to_line
+          (Schedule { ctg_text = ctg_text (); mesh; algo; decisions; dvfs }))
     | "simulate" ->
       Noc_serve.Protocol.(
         request_to_line
@@ -1081,8 +1247,15 @@ let serve_cmd =
            other)
   in
   let run socket cache jobs call raw input mesh algo faults self_timed decisions
-      stats retries =
+      dvfs vf_levels stats retries =
     Noc_obs.Log.init_from_env ();
+    if vf_levels <> None && not dvfs then
+      failwith "--vf-levels only makes sense with --dvfs";
+    let dvfs =
+      if dvfs then
+        Some (Option.value vf_levels ~default:Noc_dvfs.Vf_table.default)
+      else None
+    in
     match (call, raw) with
     | Some _, Some _ -> Error (`Msg "--call and --raw are mutually exclusive")
     | None, None ->
@@ -1098,7 +1271,7 @@ let serve_cmd =
       let line =
         match (call, raw) with
         | Some op, None ->
-          build_call op ~input ~mesh ~algo ~faults ~self_timed ~decisions
+          build_call op ~input ~mesh ~algo ~faults ~self_timed ~decisions ~dvfs
         | None, Some line -> line
         | None, None | Some _, Some _ -> assert false
       in
@@ -1122,7 +1295,8 @@ let serve_cmd =
     Term.(term_result
             (const run $ socket_arg $ cache_arg $ jobs_arg $ call_arg $ raw_arg
              $ input_arg $ mesh_arg $ algo_arg $ fault_arg $ self_timed_arg
-             $ decisions_arg $ stats_arg $ retries_arg))
+             $ decisions_arg $ serve_dvfs_arg $ serve_vf_levels_arg $ stats_arg
+             $ retries_arg))
 
 (* ------------------------------------------------------------------ *)
 (* trace-check                                                         *)

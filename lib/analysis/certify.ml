@@ -45,8 +45,17 @@ let energy platform ctg schedule =
 (* ------------------------------------------------------------------ *)
 (* Per-element checks                                                  *)
 
-let placement_checks ~eps platform ctg add =
+(* [expected_duration] defaults to the cost table; the scaled-schedule
+   checker substitutes slowdown × base duration (rule dvfs/duration). *)
+let placement_checks ~eps ?expected_duration platform ctg add =
   let n_pes = Platform.n_pes platform in
+  let expected_duration =
+    match expected_duration with
+    | Some f -> f
+    | None ->
+      fun (p : Schedule.placement) ->
+        ("sched/duration", "cost table", (Ctg.task ctg p.task).Task.exec_times.(p.pe))
+  in
   fun (p : Schedule.placement) ->
     if p.pe < 0 || p.pe >= n_pes then
       add
@@ -57,11 +66,11 @@ let placement_checks ~eps platform ctg add =
         add
           (Diagnostic.error ~rule:"sched/time-window" (Diagnostic.Task p.task)
              "window [%g, %g) is not a forward interval from time 0" p.start p.finish);
-      let expected = (Ctg.task ctg p.task).Task.exec_times.(p.pe) in
+      let rule, source, expected = expected_duration p in
       if Float.abs (p.finish -. p.start -. expected) > eps then
         add
-          (Diagnostic.error ~rule:"sched/duration" (Diagnostic.Task p.task)
-             "runs for %g on pe %d, cost table says %g" (p.finish -. p.start) p.pe
+          (Diagnostic.error ~rule (Diagnostic.Task p.task)
+             "runs for %g on pe %d, %s says %g" (p.finish -. p.start) p.pe source
              expected)
     end
 
@@ -279,3 +288,165 @@ let certifies ?eps ?claimed_energy platform ctg schedule =
   List.for_all
     (fun (d : Diagnostic.t) -> d.severity <> Diagnostic.Error)
     (check ?eps ?claimed_energy platform ctg schedule)
+
+(* ------------------------------------------------------------------ *)
+(* DVFS-scaled schedules                                               *)
+
+(* Re-verification of a downclocked schedule against its unscaled base.
+   Deliberately independent of [noc_dvfs]: the V/f ladder arrives as a
+   raw ratio array and the annotations as the [Schedule_io] records, so
+   a bug in the reclamation pass cannot leak into its own audit. *)
+
+let check_scaled ?(eps = default_eps) ~ratios ~annotations ~base platform ctg scaled =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  let n_tasks = Ctg.n_tasks ctg and n_edges = Ctg.n_edges ctg in
+  let n_levels = Array.length ratios in
+  (* The ladder itself must be a descending frequency ladder anchored at
+     f_max, or no per-task statement below means anything. *)
+  if n_levels = 0 then
+    add
+      (Diagnostic.error ~rule:"dvfs/vf-table" Diagnostic.Nowhere "empty V/f ladder")
+  else begin
+    if ratios.(0) <> 1. then
+      add
+        (Diagnostic.error ~rule:"dvfs/vf-table" Diagnostic.Nowhere
+           "level 0 runs at %g of f_max, must be 1" ratios.(0));
+    Array.iteri
+      (fun l r ->
+        if not (Float.is_finite r && r > 0. && r <= 1.) then
+          add
+            (Diagnostic.error ~rule:"dvfs/vf-table" Diagnostic.Nowhere
+               "level %d ratio %g is not in (0, 1]" l r)
+        else if l > 0 && r >= ratios.(l - 1) then
+          add
+            (Diagnostic.error ~rule:"dvfs/vf-table" Diagnostic.Nowhere
+               "levels must descend strictly: level %d ratio %g >= level %d ratio %g"
+               l r (l - 1) ratios.(l - 1)))
+      ratios
+  end;
+  if Schedule.n_tasks scaled <> n_tasks then
+    add
+      (Diagnostic.error ~rule:"sched/task-count" Diagnostic.Nowhere
+         "schedule places %d tasks, graph has %d" (Schedule.n_tasks scaled) n_tasks)
+  else if Array.length (Schedule.transactions scaled) <> n_edges then
+    add
+      (Diagnostic.error ~rule:"sched/transaction-count" Diagnostic.Nowhere
+         "schedule carries %d transactions, graph has %d arcs"
+         (Array.length (Schedule.transactions scaled))
+         n_edges)
+  else if Schedule.n_tasks base <> n_tasks
+          || Array.length (Schedule.transactions base) <> n_edges then
+    add
+      (Diagnostic.error ~rule:"dvfs/base-mismatch" Diagnostic.Nowhere
+         "base schedule does not cover the graph")
+  else if Array.length annotations <> n_tasks then
+    add
+      (Diagnostic.error ~rule:"dvfs/annotation" Diagnostic.Nowhere
+         "%d annotations for %d tasks" (Array.length annotations) n_tasks);
+  if !acc <> [] then Diagnostic.sort (List.rev !acc)
+  else begin
+    (* Per-task rules: the annotation names a real level, the frequency
+       matches that level, the placement is frozen apart from its
+       stretched finish, and the recorded energy is base × r². *)
+    Array.iteri
+      (fun i (a : Noc_sched.Schedule_io.annotation) ->
+        if a.task <> i then
+          add
+            (Diagnostic.error ~rule:"dvfs/annotation" (Diagnostic.Task i)
+               "annotation %d names task %d" i a.task)
+        else if a.level < 0 || a.level >= n_levels then
+          add
+            (Diagnostic.error ~rule:"dvfs/level-range" (Diagnostic.Task i)
+               "level %d of a %d-level ladder" a.level n_levels)
+        else begin
+          if Float.abs (a.freq -. ratios.(a.level)) > eps then
+            add
+              (Diagnostic.error ~rule:"dvfs/level-range" (Diagnostic.Task i)
+                 "annotated frequency %g, level %d of the ladder runs at %g" a.freq
+                 a.level ratios.(a.level));
+          let bp = Schedule.placement base i and sp = Schedule.placement scaled i in
+          if sp.pe <> bp.pe then
+            add
+              (Diagnostic.error ~rule:"dvfs/start-shift" (Diagnostic.Task i)
+                 "migrated from pe %d to pe %d; downclocking moves nothing" bp.pe sp.pe)
+          else if sp.start <> bp.start then
+            add
+              (Diagnostic.error ~rule:"dvfs/start-shift" (Diagnostic.Task i)
+                 "start moved from %g to %g; downclocking never moves a start" bp.start
+                 sp.start)
+          else if sp.finish < bp.finish -. eps then
+            add
+              (Diagnostic.error ~rule:"dvfs/window" (Diagnostic.Task i)
+                 "scaled finish %g precedes the base finish %g: the base window must \
+                  be contained in the scaled one"
+                 sp.finish bp.finish);
+          let expected =
+            (Ctg.task ctg i).Task.energies.(bp.pe)
+            *. ratios.(a.level) *. ratios.(a.level)
+          in
+          if Float.abs (a.energy -. expected) > eps *. Float.max 1. expected then
+            add
+              (Diagnostic.error ~rule:"dvfs/energy" (Diagnostic.Task i)
+                 "annotated energy %g, base x (f/f_max)^2 gives %g" a.energy expected)
+        end)
+      annotations;
+    (* Communication windows are frozen: every transaction must survive
+       bit-identically (route included). *)
+    Array.iteri
+      (fun e (bt : Schedule.transaction) ->
+        let st = Schedule.transaction scaled e in
+        if st <> bt then
+          add
+            (Diagnostic.error ~rule:"dvfs/comm-frozen" (Diagnostic.Edge e)
+               "transaction differs from the base schedule; downclocking never \
+                shifts a communication window"))
+      (Schedule.transactions base);
+    (* Scaled duration consistency, then the standard pairwise suite on
+       the scaled timeline — exclusions, precedence and the release/
+       deadline windows (the containment proof that stretching stayed
+       inside the slack). *)
+    let expected_duration (p : Schedule.placement) =
+      let a = annotations.(p.task) in
+      let bp = Schedule.placement base p.task in
+      let slowdown =
+        if a.level >= 0 && a.level < n_levels then 1. /. ratios.(a.level) else 1.
+      in
+      ("dvfs/duration", "level x base duration", (bp.finish -. bp.start) *. slowdown)
+    in
+    Array.iter
+      (placement_checks ~eps ~expected_duration platform ctg add)
+      (Schedule.placements scaled);
+    Array.iter
+      (transaction_checks ~eps platform ctg scaled add)
+      (Schedule.transactions scaled);
+    if !acc = [] then begin
+      pe_exclusion ~eps scaled add;
+      link_exclusion ~eps scaled add;
+      precedence ~eps ctg scaled add;
+      timing_windows ~eps ctg scaled add;
+      (* Monotonicity: reclamation may only shed computation energy. *)
+      let scaled_comp =
+        Array.fold_left
+          (fun t (a : Noc_sched.Schedule_io.annotation) -> t +. a.energy)
+          0. annotations
+      in
+      let base_comp =
+        Array.fold_left
+          (fun t (task : Task.t) ->
+            t +. task.energies.((Schedule.placement base task.id).Schedule.pe))
+          0. (Ctg.tasks ctg)
+      in
+      if scaled_comp > base_comp +. (eps *. Float.max 1. base_comp) then
+        add
+          (Diagnostic.error ~rule:"dvfs/energy-monotone" Diagnostic.Nowhere
+             "scaled computation energy %g exceeds the unscaled %g" scaled_comp
+             base_comp)
+    end;
+    Diagnostic.sort (List.rev !acc)
+  end
+
+let certifies_scaled ?eps ~ratios ~annotations ~base platform ctg scaled =
+  List.for_all
+    (fun (d : Diagnostic.t) -> d.severity <> Diagnostic.Error)
+    (check_scaled ?eps ~ratios ~annotations ~base platform ctg scaled)

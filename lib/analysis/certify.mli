@@ -61,3 +61,51 @@ val certifies :
   Noc_sched.Schedule.t ->
   bool
 (** No error-severity diagnostic (warnings do not block). *)
+
+val check_scaled :
+  ?eps:float ->
+  ratios:float array ->
+  annotations:Noc_sched.Schedule_io.annotation array ->
+  base:Noc_sched.Schedule.t ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  Noc_sched.Schedule.t ->
+  Diagnostic.t list
+(** Re-verifies a DVFS-scaled schedule against its unscaled base and a
+    raw frequency ladder [ratios] (descending, level 0 = 1.0).
+    Deliberately independent of the [noc_dvfs] reclamation pass, so a
+    bug there cannot leak into its own audit. Rules on top of the
+    [sched/*] catalogue:
+
+    - [dvfs/vf-table] (error): the ladder is not a strictly descending
+      set of ratios in (0, 1] anchored at 1.
+    - [dvfs/annotation] (error): the annotations do not cover the tasks
+      exactly, in task order.
+    - [dvfs/level-range] (error): an annotation names a level off the
+      ladder, or a frequency disagreeing with its level.
+    - [dvfs/start-shift] (error): a task changed PE or start time.
+    - [dvfs/window] (error): a scaled finish precedes its base finish
+      (the base window must be contained in the scaled one).
+    - [dvfs/duration] (error): a scaled window disagrees with
+      slowdown(level) × the base schedule's duration.
+    - [dvfs/comm-frozen] (error): a transaction differs from the base
+      schedule in any field (window, route, endpoints).
+    - [dvfs/energy] (error): an annotated task energy disagrees with
+      base × (f/f_max)².
+    - [dvfs/energy-monotone] (error): total scaled computation energy
+      exceeds the unscaled total.
+
+    The standard pairwise suite (exclusions, precedence, release and
+    deadline windows) then re-runs on the scaled timeline, so a
+    downclock that overran its slack is caught by the same rules that
+    certify unscaled schedules. *)
+
+val certifies_scaled :
+  ?eps:float ->
+  ratios:float array ->
+  annotations:Noc_sched.Schedule_io.annotation array ->
+  base:Noc_sched.Schedule.t ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  Noc_sched.Schedule.t ->
+  bool

@@ -1,0 +1,143 @@
+module Schedule = Noc_sched.Schedule
+module Schedule_io = Noc_sched.Schedule_io
+module Ctg = Noc_ctg.Ctg
+module Task = Noc_ctg.Task
+
+type result = {
+  schedule : Schedule.t;
+  annotations : Schedule_io.annotation array;
+  downclocked : int;
+  computation_energy_before : float;
+  computation_energy_after : float;
+}
+
+let downclocked_counter = Noc_obs.Counters.counter "dvfs.downclocked"
+let passes_counter = Noc_obs.Counters.counter "dvfs.reclaim-passes"
+
+(* The latest instant each task may finish without disturbing anything
+   else on the as-built timeline: the next start on its own PE, the
+   departure of its earliest outgoing transaction, and its deadline.
+   Starts and communication windows are frozen, so these bounds are
+   independent of the levels other tasks commit to — one pass suffices. *)
+let slack_bounds ctg schedule =
+  let n = Schedule.n_tasks schedule in
+  let bound = Array.make n infinity in
+  let by_pe = Hashtbl.create 16 in
+  Array.iter
+    (fun (p : Schedule.placement) ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt by_pe p.pe) in
+      Hashtbl.replace by_pe p.pe (p :: prev))
+    (Schedule.placements schedule);
+  Hashtbl.iter
+    (fun _pe ps ->
+      let sorted =
+        List.sort
+          (fun (a : Schedule.placement) (b : Schedule.placement) ->
+            Float.compare a.start b.start)
+          ps
+      in
+      let rec walk = function
+        | (a : Schedule.placement) :: ((b : Schedule.placement) :: _ as rest) ->
+          bound.(a.task) <- Float.min bound.(a.task) b.start;
+          walk rest
+        | [ _ ] | [] -> ()
+      in
+      walk sorted)
+    by_pe;
+  for i = 0 to n - 1 do
+    List.iter
+      (fun (e : Noc_ctg.Edge.t) ->
+        bound.(i) <- Float.min bound.(i) (Schedule.transaction schedule e.id).Schedule.start)
+      (Ctg.out_edges ctg i);
+    match (Ctg.task ctg i).Task.deadline with
+    | Some d -> bound.(i) <- Float.min bound.(i) d
+    | None -> ()
+  done;
+  bound
+
+let run ?(table = Vf_table.default) ctg schedule =
+  Noc_obs.Counters.incr passes_counter;
+  let n = Schedule.n_tasks schedule in
+  let levels = Vf_table.n_levels table in
+  let bounds = slack_bounds ctg schedule in
+  let placements = Array.copy (Schedule.placements schedule) in
+  let annotations =
+    Array.init n (fun task ->
+        { Schedule_io.task; level = 0; freq = 1.; energy = 0. })
+  in
+  let downclocked = ref 0 in
+  let before = ref 0. and after = ref 0. in
+  let visit i =
+    let p = Schedule.placement schedule i in
+    let duration = p.Schedule.finish -. p.Schedule.start in
+    let bound = bounds.(i) in
+    let scaled_finish level =
+      if level = 0 then p.Schedule.finish
+      else p.Schedule.start +. (duration *. Vf_table.slowdown table ~level)
+    in
+    (* Lowest frequency whose stretched window still fits the slack;
+       level 0 is the unconditional fallback (pass-through), so an
+       uncertified input is never made worse. *)
+    let rec pick level =
+      if level <= 0 then 0
+      else if scaled_finish level <= bound then level
+      else pick (level - 1)
+    in
+    let level = pick (levels - 1) in
+    if Noc_obs.Decisions.is_enabled () then
+      Noc_obs.Decisions.record ~task:i ~rule:"dvfs/reclaim" ~chosen:level
+        ~budgeted_deadline:bound
+        ~finishes:
+          (Array.init levels (fun l ->
+               let f = scaled_finish l in
+               if l = 0 || f <= bound then f else infinity));
+    let energy_before = (Ctg.task ctg i).Task.energies.(p.Schedule.pe) in
+    let energy_after = energy_before *. Vf_table.energy_scale table ~level in
+    before := !before +. energy_before;
+    after := !after +. energy_after;
+    if level > 0 then begin
+      incr downclocked;
+      Noc_obs.Counters.incr downclocked_counter;
+      placements.(i) <- { p with Schedule.finish = scaled_finish level }
+    end;
+    annotations.(i) <-
+      {
+        Schedule_io.task = i;
+        level;
+        freq = Vf_table.ratio table ~level;
+        energy = energy_after;
+      }
+  in
+  let result_args result () =
+    [
+      ("tasks", Noc_obs.Trace.Int n);
+      ("downclocked", Noc_obs.Trace.Int result.downclocked);
+      ( "reclaimed_nj",
+        Noc_obs.Trace.Float
+          (result.computation_energy_before -. result.computation_energy_after) );
+    ]
+  in
+  let result = ref None in
+  Noc_obs.Trace.span ~cat:"dvfs"
+    ~args:(fun () ->
+      match !result with Some r -> result_args r () | None -> [])
+    "dvfs/reclaim"
+    (fun () ->
+      let order = Ctg.topological_order ctg in
+      for k = Array.length order - 1 downto 0 do
+        visit order.(k)
+      done;
+      result :=
+        Some
+          {
+            schedule =
+              Schedule.make ~placements
+                ~transactions:(Array.copy (Schedule.transactions schedule));
+            annotations;
+            downclocked = !downclocked;
+            computation_energy_before = !before;
+            computation_energy_after = !after;
+          });
+  Option.get !result
+
+let reclaimed r = r.computation_energy_before -. r.computation_energy_after

@@ -1,0 +1,50 @@
+(** DVFS slack reclamation — EAS Step 4.
+
+    Walks a committed, certified schedule in reverse topological order
+    and downclocks each task to the lowest frequency level of a
+    {!Vf_table} that still fits its local slack. Invariants, by
+    construction:
+
+    - no start time ever moves (earlier or later);
+    - no communication window shifts — transactions pass through
+      verbatim, so the base schedule's link arbitration and the
+      feasibility proof behind it stay valid;
+    - no deadline the unscaled schedule met is missed.
+
+    Each task's slack bound is the earliest of: the next task's start on
+    the same PE, the departure of its earliest outgoing transaction, and
+    its own deadline — all read off the as-built timeline. Because
+    starts and windows are frozen, the bound is independent of every
+    other task's chosen level, so a single pass suffices; the reverse
+    topological order is a deterministic visiting order for the decision
+    log, not a fixpoint schedule.
+
+    Every decision is recorded in {!Noc_obs.Decisions} under rule
+    ["dvfs/reclaim"] (candidate array = per-level scaled finish times,
+    [infinity] marking levels that overrun the bound; [chosen] = the
+    committed level; [budgeted_deadline] = the slack bound), and the
+    whole pass runs inside a ["dvfs/reclaim"] trace span whose args
+    carry the reclaimed energy, so Perfetto shows reclaimed slack per
+    lane. *)
+
+type result = {
+  schedule : Noc_sched.Schedule.t;
+      (** The scaled schedule: placements at level 0 are passed through
+          bit-identically; downclocked placements keep their start and
+          PE and stretch their finish by the level's slowdown. *)
+  annotations : Noc_sched.Schedule_io.annotation array;
+      (** One per task, in task order — ready for format-v3 I/O. *)
+  downclocked : int;  (** Tasks committed below f_max. *)
+  computation_energy_before : float;
+  computation_energy_after : float;
+}
+
+val run : ?table:Vf_table.t -> Noc_ctg.Ctg.t -> Noc_sched.Schedule.t -> result
+(** [table] defaults to {!Vf_table.default}. The input schedule is not
+    modified. A task whose base finish already overruns its bound (an
+    uncertified input) stays at level 0 and is passed through unchanged,
+    so reclamation never makes any schedule worse. *)
+
+val reclaimed : result -> float
+(** [computation_energy_before - computation_energy_after], in the same
+    nJ unit as Eq. 3. *)

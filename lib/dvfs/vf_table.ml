@@ -1,0 +1,63 @@
+type t = { ladder : float array }  (* descending, ladder.(0) = 1.0 *)
+
+let of_ratios arr =
+  let n = Array.length arr in
+  if n = 0 then Error "empty level list"
+  else
+    let bad =
+      Array.find_opt (fun r -> not (Float.is_finite r && r > 0. && r <= 1.)) arr
+    in
+    match bad with
+    | Some r -> Error (Printf.sprintf "level %g is not in (0, 1]" r)
+    | None ->
+      let sorted = Array.copy arr in
+      Array.sort (fun a b -> Float.compare b a) sorted;
+      let dup = ref None in
+      for i = 0 to n - 2 do
+        if sorted.(i) = sorted.(i + 1) && !dup = None then dup := Some sorted.(i)
+      done;
+      (match !dup with
+      | Some r -> Error (Printf.sprintf "duplicate level %g" r)
+      | None ->
+        if sorted.(0) <> 1. then
+          Error
+            (Printf.sprintf "fastest level must be 1 (f_max), highest given is %g"
+               sorted.(0))
+        else Ok { ladder = sorted })
+
+let default =
+  match of_ratios [| 1.0; 0.8; 0.6; 0.5 |] with
+  | Ok t -> t
+  | Error msg -> failwith msg
+
+let of_string s =
+  let tokens = String.split_on_char ',' s |> List.map String.trim in
+  let rec parse acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: _ -> Error "empty level token (stray comma?)"
+    | tok :: rest -> (
+      match float_of_string_opt tok with
+      | Some r -> parse (r :: acc) rest
+      | None -> Error (Printf.sprintf "level %S is not a number" tok))
+  in
+  match parse [] tokens with
+  | Error _ as e -> e
+  | Ok ratios -> of_ratios (Array.of_list ratios)
+
+let float_to_string v =
+  let short = Printf.sprintf "%.12g" v in
+  if float_of_string short = v then short else Printf.sprintf "%.17g" v
+
+let to_string t =
+  String.concat "," (List.map float_to_string (Array.to_list t.ladder))
+
+let hex t =
+  String.concat ","
+    (List.map (Printf.sprintf "%h") (Array.to_list t.ladder))
+
+let n_levels t = Array.length t.ladder
+let ratio t ~level = t.ladder.(level)
+let ratios t = Array.copy t.ladder
+let slowdown t ~level = 1. /. t.ladder.(level)
+let energy_scale t ~level = t.ladder.(level) *. t.ladder.(level)
+let pp fmt t = Format.pp_print_string fmt (to_string t)

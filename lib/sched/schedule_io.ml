@@ -2,10 +2,27 @@ let float_to_string v =
   let short = Printf.sprintf "%.12g" v in
   if float_of_string short = v then short else Printf.sprintf "%.17g" v
 
-let to_string schedule =
+type annotation = { task : int; level : int; freq : float; energy : float }
+
+let to_string ?dvfs schedule =
+  (match dvfs with
+  | None -> ()
+  | Some annotations ->
+    if Array.length annotations <> Schedule.n_tasks schedule then
+      invalid_arg
+        (Printf.sprintf "Schedule_io.to_string: %d annotations for %d tasks"
+           (Array.length annotations) (Schedule.n_tasks schedule));
+    Array.iteri
+      (fun i a ->
+        if a.task <> i then
+          invalid_arg
+            (Printf.sprintf
+               "Schedule_io.to_string: annotation %d names task %d (must be in task order)"
+               i a.task))
+      annotations);
   let buf = Buffer.create 2048 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
-  add "schedule 2\n";
+  add "schedule %d\n" (if dvfs = None then 2 else 3);
   Array.iter
     (fun (p : Schedule.placement) ->
       add "place %d pe %d start %s finish %s\n" p.task p.pe (float_to_string p.start)
@@ -21,6 +38,14 @@ let to_string schedule =
         (String.concat "," (List.map string_of_int route))
         (float_to_string tr.start) (float_to_string tr.finish))
     (Schedule.transactions schedule);
+  (match dvfs with
+  | None -> ()
+  | Some annotations ->
+    (* Hexadecimal floats: bit-exact round trip without shortest-decimal
+       search, and visually distinct from the timeline fields. *)
+    Array.iter
+      (fun a -> add "dvfs %d level %d freq %h energy %h\n" a.task a.level a.freq a.energy)
+      annotations);
   Buffer.contents buf
 
 exception Parse_error of int * string
@@ -41,11 +66,13 @@ let parse_route line s =
   String.split_on_char ',' s
   |> List.map (fun w -> parse_int line "route node" w)
 
-let of_string platform ctg text =
+let of_string_full platform ctg text =
   let n = Noc_ctg.Ctg.n_tasks ctg and m = Noc_ctg.Ctg.n_edges ctg in
   let placements : Schedule.placement option array = Array.make n None in
   let transactions : Schedule.transaction option array = Array.make m None in
-  let version_seen = ref false in
+  let annotations : annotation option array = Array.make n None in
+  let any_dvfs = ref false in
+  let version = ref 0 in
   try
     List.iteri
       (fun i line ->
@@ -81,7 +108,7 @@ let of_string platform ctg text =
         in
         match words with
         | [] -> ()
-        | [ "schedule"; ("1" | "2") ] -> version_seen := true
+        | [ "schedule"; (("1" | "2" | "3") as v) ] -> version := int_of_string v
         | [ "place"; task; "pe"; pe; "start"; start; "finish"; finish ] ->
           let task = parse_int line_no "task" task in
           if task < 0 || task >= n then fail line_no "unknown task %d" task;
@@ -106,9 +133,27 @@ let of_string platform ctg text =
             ~route:(Some (parse_route line_no route))
             ~start:(parse_float line_no "start" start)
             ~finish:(parse_float line_no "finish" finish)
+        | [ "dvfs"; task; "level"; level; "freq"; freq; "energy"; energy ] ->
+          if !version < 3 then
+            fail line_no "dvfs annotations need a schedule 3 header";
+          let task = parse_int line_no "task" task in
+          if task < 0 || task >= n then fail line_no "unknown task %d" task;
+          if annotations.(task) <> None then
+            fail line_no "duplicate dvfs annotation %d" task;
+          let level = parse_int line_no "level" level in
+          if level < 0 then fail line_no "level %d is negative" level;
+          let freq = parse_float line_no "freq" freq in
+          if not (freq > 0. && freq <= 1.) then
+            fail line_no "freq %s is outside (0, 1]" (float_to_string freq);
+          let energy = parse_float line_no "energy" energy in
+          if not (Float.is_finite energy && energy >= 0.) then
+            fail line_no "energy %s is not a finite non-negative number"
+              (float_to_string energy);
+          any_dvfs := true;
+          annotations.(task) <- Some { task; level; freq; energy }
         | keyword :: _ -> fail line_no "unknown keyword %S" keyword)
       (String.split_on_char '\n' text);
-    if not !version_seen then Error "missing header line (schedule 1 or schedule 2)"
+    if !version = 0 then Error "missing header line (schedule 1, 2 or 3)"
     else begin
       Array.iteri
         (fun i p -> if p = None then raise (Parse_error (0, Printf.sprintf "task %d missing" i)))
@@ -117,26 +162,43 @@ let of_string platform ctg text =
         (fun e t ->
           if t = None then raise (Parse_error (0, Printf.sprintf "transaction %d missing" e)))
         transactions;
+      let dvfs =
+        if not !any_dvfs then None
+        else begin
+          Array.iteri
+            (fun i a ->
+              if a = None then
+                raise (Parse_error (0, Printf.sprintf "dvfs annotation for task %d missing" i)))
+            annotations;
+          Some (Array.map Option.get annotations)
+        end
+      in
       Ok
-        (Schedule.make
-           ~placements:(Array.map Option.get placements)
-           ~transactions:(Array.map Option.get transactions))
+        ( Schedule.make
+            ~placements:(Array.map Option.get placements)
+            ~transactions:(Array.map Option.get transactions),
+          dvfs )
     end
   with
   | Parse_error (0, msg) -> Error msg
   | Parse_error (line, msg) -> Error (Printf.sprintf "line %d: %s" line msg)
   | Invalid_argument msg -> Error msg
 
-let save ~path schedule =
+let of_string platform ctg text =
+  Result.map fst (of_string_full platform ctg text)
+
+let save ?dvfs ~path schedule =
   let oc = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (to_string schedule))
+    (fun () -> output_string oc (to_string ?dvfs schedule))
 
-let load ~path platform ctg =
+let load_full ~path platform ctg =
   match open_in path with
   | ic ->
     Fun.protect
       ~finally:(fun () -> close_in ic)
-      (fun () -> of_string platform ctg (In_channel.input_all ic))
+      (fun () -> of_string_full platform ctg (In_channel.input_all ic))
   | exception Sys_error msg -> Error msg
+
+let load ~path platform ctg = Result.map fst (load_full ~path platform ctg)

@@ -1,27 +1,71 @@
 (** Plain-text serialisation of schedules.
 
-    A schedule is stored as one line per placement and per transaction:
+    A schedule is stored as one line per placement and per transaction,
+    plus (format version 3) one line per task carrying its DVFS
+    annotation:
 
     {v
-    schedule 2
+    schedule 3
     place <task> pe <pe> start <t> finish <t>
     trans <edge> via <n0>,<n1>,... start <t> finish <t>
+    dvfs <task> level <l> freq <r> energy <e>
     v}
 
     The [via] field records the transaction's route verbatim, so
     detour-routed schedules produced for degraded platforms round-trip
     exactly. {!of_string} also accepts the legacy version-1 format
     (header [schedule 1], no [via] field), re-deriving each route as the
-    platform's deterministic one. Floats round-trip exactly. *)
+    platform's deterministic one, and version 2 (no [dvfs] lines — every
+    task implicitly runs at f_max). Floats round-trip exactly: [place]
+    and [trans] times use the shortest decimal that reads back
+    bit-identically, [dvfs] frequencies and energies are written as
+    hexadecimal floats ([%h]) so scaled schedules round-trip
+    bit-exactly. *)
 
-val to_string : Schedule.t -> string
+type annotation = {
+  task : int;
+  level : int;  (** index into the V/f table, 0 = f_max *)
+  freq : float;  (** normalised frequency ratio f/f_max in (0, 1] *)
+  energy : float;  (** scaled Eq.-3 computation energy of the task *)
+}
+(** Per-task DVFS annotation carried by format version 3. The type lives
+    here (not in [noc_dvfs]) so the certifier can check scaled schedules
+    without depending on the power-management subsystem. *)
+
+val to_string : ?dvfs:annotation array -> Schedule.t -> string
+(** Without [dvfs] the output is a version-2 file, bit-identical to what
+    earlier releases wrote. With [dvfs] (one annotation per task, in
+    task order) the header becomes [schedule 3] and one [dvfs] line per
+    task is appended. Raises [Invalid_argument] if the annotation array
+    does not cover the schedule's tasks exactly. *)
 
 val of_string :
   Noc_noc.Platform.t -> Noc_ctg.Ctg.t -> string -> (Schedule.t, string) result
 (** Structural errors (wrong counts, unknown ids, bad numbers) are
     reported with line numbers. The result is {e not} validated for
-    feasibility — run {!Validate.check} for that. *)
+    feasibility — run {!Validate.check} for that. Accepts versions 1-3;
+    any DVFS annotations are parsed (and structurally checked) but
+    dropped — use {!of_string_full} to keep them. *)
 
-val save : path:string -> Schedule.t -> unit
+val of_string_full :
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  string ->
+  (Schedule.t * annotation array option, string) result
+(** Like {!of_string} but returns the DVFS annotations when the file
+    carries them ([None] for version 1/2 files, or a version-3 file with
+    no [dvfs] lines: every task at f_max). When any [dvfs] line is
+    present, every task must have exactly one, the header must say
+    [schedule 3], frequencies must lie in (0, 1] and energies must be
+    finite and non-negative. *)
+
+val save : ?dvfs:annotation array -> path:string -> Schedule.t -> unit
+
 val load :
   path:string -> Noc_noc.Platform.t -> Noc_ctg.Ctg.t -> (Schedule.t, string) result
+
+val load_full :
+  path:string ->
+  Noc_noc.Platform.t ->
+  Noc_ctg.Ctg.t ->
+  (Schedule.t * annotation array option, string) result

@@ -1,11 +1,20 @@
 let fault_set faults = Noc_util.Fnv.digest (Noc_fault.Fault_set.key faults)
 
-let make ~algo ~ctg_digest ~platform_digest ~fault_digest =
-  Printf.sprintf "%s:%s:%s:%s"
-    (String.lowercase_ascii (Noc_experiments.Runner.algo_name algo))
-    ctg_digest platform_digest fault_digest
+(* DVFS is scheduler configuration, not a platform property (the mesh
+   digests identically with and without slack reclamation), so it gets
+   its own key segment instead of a platform-digest bump: "-" when off,
+   the FNV digest of the ladder's bit-exact hex serialisation when on.
+   A --dvfs request can therefore never alias a cached unscaled
+   schedule, and two ladders differing in any bit get distinct keys. *)
+let no_dvfs = "-"
+let vf_table table = Noc_util.Fnv.digest (Noc_dvfs.Vf_table.hex table)
 
-let key ~algo ~ctg ~platform ~faults =
-  make ~algo ~ctg_digest:(Noc_ctg.Ctg.digest ctg)
+let make ?(dvfs_digest = no_dvfs) ~algo ~ctg_digest ~platform_digest ~fault_digest () =
+  Printf.sprintf "%s:%s:%s:%s:%s"
+    (String.lowercase_ascii (Noc_experiments.Runner.algo_name algo))
+    ctg_digest platform_digest fault_digest dvfs_digest
+
+let key ?dvfs_digest ~algo ~ctg ~platform ~faults () =
+  make ?dvfs_digest ~algo ~ctg_digest:(Noc_ctg.Ctg.digest ctg)
     ~platform_digest:(Noc_noc.Platform.digest platform)
-    ~fault_digest:(fault_set faults)
+    ~fault_digest:(fault_set faults) ()

@@ -8,6 +8,7 @@ type request =
       mesh : int * int;
       algo : Noc_experiments.Runner.algo;
       decisions : bool;
+      dvfs : Noc_dvfs.Vf_table.t option;
     }
   | Simulate of {
       ctg_text : string;
@@ -112,7 +113,24 @@ let parse_request line =
       | "schedule" ->
         let* ctg_text, mesh, algo = ctg_mesh_algo obj in
         let* decisions = bool_field ~default:false "decisions" obj in
-        Ok (Schedule { ctg_text; mesh; algo; decisions })
+        let* dvfs_flag = bool_field ~default:false "dvfs" obj in
+        let* vf_levels =
+          match Json.member "vf_levels" obj with
+          | None -> Ok None
+          | Some (Json.String s) -> (
+            match Noc_dvfs.Vf_table.of_string s with
+            | Ok t -> Ok (Some t)
+            | Error msg -> Error (Printf.sprintf "field \"vf_levels\": %s" msg))
+          | Some _ -> Error "field \"vf_levels\" must be a string"
+        in
+        let* dvfs =
+          match (dvfs_flag, vf_levels) with
+          | false, Some _ -> Error "field \"vf_levels\" needs \"dvfs\": true"
+          | false, None -> Ok None
+          | true, Some t -> Ok (Some t)
+          | true, None -> Ok (Some Noc_dvfs.Vf_table.default)
+        in
+        Ok (Schedule { ctg_text; mesh; algo; decisions; dvfs })
       | "simulate" ->
         let* ctg_text, mesh, algo = ctg_mesh_algo obj in
         let* faults = string_list_field "faults" obj in
@@ -143,7 +161,7 @@ let request_to_line ?id request =
   let base = [ ("op", Json.String (op_name request)) ] in
   let fields =
     match request with
-    | Schedule { ctg_text; mesh; algo; decisions } ->
+    | Schedule { ctg_text; mesh; algo; decisions; dvfs } ->
       base
       @ [
           ("ctg", Json.String ctg_text);
@@ -152,6 +170,13 @@ let request_to_line ?id request =
                                 |> String.lowercase_ascii));
           ("decisions", Json.Bool decisions);
         ]
+      @ (match dvfs with
+        | None -> []
+        | Some table ->
+          [
+            ("dvfs", Json.Bool true);
+            ("vf_levels", Json.String (Noc_dvfs.Vf_table.to_string table));
+          ])
     | Simulate { ctg_text; mesh; algo; faults; self_timed } ->
       base
       @ [

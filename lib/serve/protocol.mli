@@ -9,7 +9,8 @@
 
     {v
     {"op": "schedule",   "ctg": "<ctg text>", "mesh": "4x4",
-     "algo": "eas", "decisions": false, "id": "r1"}
+     "algo": "eas", "decisions": false,
+     "dvfs": false, "vf_levels": "1,0.8,0.6,0.5", "id": "r1"}
     {"op": "simulate",   "ctg": ..., "mesh": ..., "algo": ...,
      "faults": ["pe:1"], "self_timed": false, "id": ...}
     {"op": "reschedule", "ctg": ..., "mesh": ..., "algo": ...,
@@ -22,8 +23,12 @@
     ["4x4"]) names the server-side platform (the same deterministic
     heterogeneous mesh the CLI builds); [algo] is [eas], [eas-base] or
     [edf] (default [eas]); [faults] uses the CLI fault syntax
-    ({!Noc_fault.Fault.of_string}); [id] is an opaque client
-    correlation token echoed in the reply. Unknown fields are ignored.
+    ({!Noc_fault.Fault.of_string}); [dvfs] (default [false]) asks for
+    DVFS slack reclamation over the committed schedule, with
+    [vf_levels] (a {!Noc_dvfs.Vf_table.of_string} ratio list, default
+    the standard ladder) only legal alongside it; [id] is an opaque
+    client correlation token echoed in the reply. Unknown fields are
+    ignored.
 
     Replies always carry ["schema"] and ["ok"]; failures are structured
     — [{"ok": false, "error": "..."}] — never a dropped connection.
@@ -43,6 +48,9 @@ type request =
       mesh : int * int;
       algo : Noc_experiments.Runner.algo;
       decisions : bool;  (** Include the EAS decision log in the reply. *)
+      dvfs : Noc_dvfs.Vf_table.t option;
+          (** [Some table] reclaims slack with the given V/f ladder;
+              folded into the cache key as its own segment. *)
     }
   | Simulate of {
       ctg_text : string;

@@ -31,6 +31,9 @@ type entry = {
   misses : int;
   decisions : string option;
   resched : (int * int * bool) option;  (* migrated, rerouted, full_rerun *)
+  dvfs : (Noc_dvfs.Vf_table.t * Schedule_io.annotation array * int * float) option;
+      (* ladder, per-task annotations, downclocked, reclaimed nJ — the
+         entry's schedule/text are then the scaled (format v3) ones *)
 }
 
 type state = {
@@ -133,6 +136,13 @@ let same_edges a b =
    guarantees arcs are unique per endpoint pair, so the map is a
    bijection when the graphs really are the same problem; any mismatch
    (an FNV collision) falls back to a fresh computation. *)
+(* Serialise with the entry's DVFS annotations when it carries them, so
+   a relabelled scaled entry keeps its format-v3 text. *)
+let entry_text (entry : entry) schedule =
+  match entry.dvfs with
+  | Some (_, annotations, _, _) -> Schedule_io.to_string ~dvfs:annotations schedule
+  | None -> Schedule_io.to_string schedule
+
 let relabel (entry : entry) (ctg : Ctg.t) =
   if same_edges entry.ctg ctg then Some (entry.schedule, entry.text, entry.decisions)
   else if Ctg.n_edges entry.ctg <> Ctg.n_edges ctg then None
@@ -156,8 +166,8 @@ let relabel (entry : entry) (ctg : Ctg.t) =
         Schedule.make ~placements:(Schedule.placements entry.schedule) ~transactions
       in
       (* Decision records name tasks and PEs, never edge ids, so they
-         survive the relabelling unchanged. *)
-      Some (schedule, Schedule_io.to_string schedule, entry.decisions)
+         survive the relabelling unchanged — as do DVFS annotations. *)
+      Some (schedule, entry_text entry schedule, entry.decisions)
     with Exit | Invalid_argument _ -> None
 
 (* ------------------------------------------------------------------ *)
@@ -190,22 +200,23 @@ let certification_error diags =
 (* A full (cache-miss) computation: schedule, derive metrics, certify.
    Kernels are reused across runs — [Kernel.build] is deterministic and
    the kernel is read-only after construction, so reuse is bit-neutral. *)
-let compute_fresh state platform ctg algo ~digests ~want_decisions =
+let raw_schedule state platform ctg algo ~digests =
   let ctg_digest, platform_digest = digests in
-  let run () =
-    match algo with
-    | Runner.Eas ->
-      (Noc_eas.Eas.schedule
-         ~kernel:(kernel_for state platform ctg ~ctg_digest ~platform_digest)
-         platform ctg)
-        .Noc_eas.Eas.schedule
-    | Runner.Eas_base ->
-      (Noc_eas.Eas.schedule ~repair:false
-         ~kernel:(kernel_for state platform ctg ~ctg_digest ~platform_digest)
-         platform ctg)
-        .Noc_eas.Eas.schedule
-    | Runner.Edf -> Runner.schedule_of Runner.Edf platform ctg
-  in
+  match algo with
+  | Runner.Eas ->
+    (Noc_eas.Eas.schedule
+       ~kernel:(kernel_for state platform ctg ~ctg_digest ~platform_digest)
+       platform ctg)
+      .Noc_eas.Eas.schedule
+  | Runner.Eas_base ->
+    (Noc_eas.Eas.schedule ~repair:false
+       ~kernel:(kernel_for state platform ctg ~ctg_digest ~platform_digest)
+       platform ctg)
+      .Noc_eas.Eas.schedule
+  | Runner.Edf -> Runner.schedule_of Runner.Edf platform ctg
+
+let compute_fresh state platform ctg algo ~digests ~want_decisions =
+  let run () = raw_schedule state platform ctg algo ~digests in
   let schedule, decisions =
     if want_decisions then
       let s, d = capture_decisions run in
@@ -229,6 +240,7 @@ let compute_fresh state platform ctg algo ~digests ~want_decisions =
         misses = Metrics.miss_count metrics;
         decisions;
         resched = None;
+        dvfs = None;
       }
 
 (* The memoised schedule for (algo, ctg, platform) with no faults.
@@ -242,7 +254,7 @@ let obtain state platform ctg algo ~digests ~want_decisions =
   let ctg_digest, platform_digest = digests in
   let key =
     Digest.make ~algo ~ctg_digest ~platform_digest
-      ~fault_digest:empty_fault_digest
+      ~fault_digest:empty_fault_digest ()
   in
   let fresh () =
     match compute_fresh state platform ctg algo ~digests ~want_decisions with
@@ -289,18 +301,122 @@ let with_graph state ?id ~ctg_text ~mesh k =
            (Protocol.mesh_name mesh) (Platform.n_pes platform))
     else k platform ctg ~digests:(ctg_digest, platform_digest)
 
-let handle_schedule state ?id ~ctg_text ~mesh ~algo ~decisions () =
-  with_graph state ?id ~ctg_text ~mesh @@ fun platform ctg ~digests ->
-  match obtain state platform ctg algo ~digests ~want_decisions:decisions with
-  | Error msg -> Protocol.error_line ?id msg
-  | Ok (entry, cached, key) ->
-    let fields = schedule_fields ~cached ~key ~algo entry in
-    let fields =
-      match entry.decisions with
-      | Some d when decisions -> fields @ [ ("decisions", Json.String d) ]
-      | Some _ | None -> fields
+let decisions_field ~decisions (entry : entry) fields =
+  match entry.decisions with
+  | Some d when decisions -> fields @ [ ("decisions", Json.String d) ]
+  | Some _ | None -> fields
+
+(* DVFS slack reclamation over the committed base schedule. The scaled
+   entry lives under its own cache key ({!Digest.vf_table} segment), so
+   a [--dvfs] request never aliases a cached unscaled schedule and vice
+   versa. When a decision log is wanted the EAS placements and the
+   downclocks must share one run label for CLI bit-parity, so the fresh
+   path wraps schedule + reclaim in a single [capture_decisions];
+   otherwise the base comes through the normal (possibly cached)
+   [obtain] path and only the cheap reclamation pass runs. *)
+let handle_dvfs_schedule state ?id ~algo ~decisions ~table platform ctg ~digests =
+  let ctg_digest, platform_digest = digests in
+  let dkey =
+    Digest.make ~dvfs_digest:(Digest.vf_table table) ~algo ~ctg_digest
+      ~platform_digest ~fault_digest:empty_fault_digest ()
+  in
+  let reply ~cached ~base_cached (entry : entry) =
+    let table, downclocked, reclaimed =
+      match entry.dvfs with
+      | Some (t, _, d, rj) -> (t, d, rj)
+      | None -> (table, 0, 0.)
     in
-    Protocol.ok_line ?id ~op:"schedule" fields
+    schedule_fields ~cached ~key:dkey ~algo entry
+    @ [
+        ("dvfs", Json.Bool true);
+        ("vf_levels", Json.String (Noc_dvfs.Vf_table.to_string table));
+        ("downclocked", int_num downclocked);
+        ("reclaimed", num reclaimed);
+        ("base_cached", Json.Bool base_cached);
+      ]
+    |> decisions_field ~decisions entry
+    |> Protocol.ok_line ?id ~op:"schedule"
+  in
+  let fresh () =
+    let base_result =
+      if decisions then (
+        let (base, r), jsonl =
+          capture_decisions (fun () ->
+              let base = raw_schedule state platform ctg algo ~digests in
+              (base, Noc_dvfs.Reclaim.run ~table ctg base))
+        in
+        let metrics = Metrics.compute platform ctg base in
+        match
+          certification_error
+            (Certify.check ~claimed_energy:metrics.Metrics.total_energy platform
+               ctg base)
+        with
+        | Some msg -> Error msg
+        | None -> Ok (base, metrics.Metrics.total_energy, false, Some jsonl, r))
+      else
+        match obtain state platform ctg algo ~digests ~want_decisions:false with
+        | Error msg -> Error msg
+        | Ok (base_entry, base_cached, _) ->
+          Ok
+            ( base_entry.schedule,
+              base_entry.energy,
+              base_cached,
+              None,
+              Noc_dvfs.Reclaim.run ~table ctg base_entry.schedule )
+    in
+    match base_result with
+    | Error msg -> Protocol.error_line ?id msg
+    | Ok (base, base_energy, base_cached, dlog, r) -> (
+      let annotations = r.Noc_dvfs.Reclaim.annotations in
+      let scaled = r.Noc_dvfs.Reclaim.schedule in
+      match
+        certification_error
+          (Certify.check_scaled
+             ~ratios:(Noc_dvfs.Vf_table.ratios table)
+             ~annotations ~base platform ctg scaled)
+      with
+      | Some msg -> Protocol.error_line ?id ("dvfs: " ^ msg)
+      | None ->
+        let reclaimed = Noc_dvfs.Reclaim.reclaimed r in
+        let entry =
+          {
+            ctg;
+            schedule = scaled;
+            text = Schedule_io.to_string ~dvfs:annotations scaled;
+            energy = base_energy -. reclaimed;
+            makespan = Schedule.makespan scaled;
+            misses = Metrics.miss_count (Metrics.compute platform ctg scaled);
+            decisions = dlog;
+            resched = None;
+            dvfs = Some (table, annotations, r.Noc_dvfs.Reclaim.downclocked, reclaimed);
+          }
+        in
+        Cache.add state.schedules dkey entry;
+        reply ~cached:false ~base_cached entry)
+  in
+  match Cache.find state.schedules dkey with
+  | None -> fresh ()
+  | Some entry -> (
+    match relabel entry ctg with
+    | None -> fresh ()
+    | Some (schedule, text, dlog) ->
+      if decisions && dlog = None then fresh ()
+      else
+        reply ~cached:true ~base_cached:true
+          { entry with ctg; schedule; text; decisions = dlog })
+
+let handle_schedule state ?id ~ctg_text ~mesh ~algo ~decisions ~dvfs () =
+  with_graph state ?id ~ctg_text ~mesh @@ fun platform ctg ~digests ->
+  match dvfs with
+  | Some table ->
+    handle_dvfs_schedule state ?id ~algo ~decisions ~table platform ctg ~digests
+  | None -> (
+    match obtain state platform ctg algo ~digests ~want_decisions:decisions with
+    | Error msg -> Protocol.error_line ?id msg
+    | Ok (entry, cached, key) ->
+      schedule_fields ~cached ~key ~algo entry
+      |> decisions_field ~decisions entry
+      |> Protocol.ok_line ?id ~op:"schedule")
 
 let handle_simulate state ?id ~ctg_text ~mesh ~algo ~faults ~self_timed () =
   match Fault_set.of_strings faults with
@@ -345,7 +461,7 @@ let handle_reschedule state ?id ~ctg_text ~mesh ~algo ~faults () =
     let ctg_digest, platform_digest = digests in
     let full_key =
       Digest.make ~algo ~ctg_digest ~platform_digest
-        ~fault_digest:(Digest.fault_set faults)
+        ~fault_digest:(Digest.fault_set faults) ()
     in
     let fresh () =
       match obtain state platform ctg algo ~digests ~want_decisions:false with
@@ -373,6 +489,7 @@ let handle_reschedule state ?id ~ctg_text ~mesh ~algo ~faults () =
                 makespan = Schedule.makespan schedule;
                 misses = stats.Noc_eas.Fault_resched.misses;
                 decisions = None;
+                dvfs = None;
                 resched =
                   Some
                     ( stats.Noc_eas.Fault_resched.migrated_tasks,
@@ -436,8 +553,8 @@ let handle_stats state ?id () =
 let latency_hist op = Counters.histogram ("serve/" ^ op)
 
 let dispatch state ?id = function
-  | Protocol.Schedule { ctg_text; mesh; algo; decisions } ->
-    (handle_schedule state ?id ~ctg_text ~mesh ~algo ~decisions (), false)
+  | Protocol.Schedule { ctg_text; mesh; algo; decisions; dvfs } ->
+    (handle_schedule state ?id ~ctg_text ~mesh ~algo ~decisions ~dvfs (), false)
   | Protocol.Simulate { ctg_text; mesh; algo; faults; self_timed } ->
     (handle_simulate state ?id ~ctg_text ~mesh ~algo ~faults ~self_timed (), false)
   | Protocol.Reschedule { ctg_text; mesh; algo; faults } ->

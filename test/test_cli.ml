@@ -178,6 +178,10 @@ let test_usage_errors_exit_2 () =
       ("malformed mesh", "generate --mesh 4x", "--mesh");
       ("malformed algo", "schedule --algo bogus --benchmark tgff:1", "--algo");
       ("stray positional", "simulate stray-arg", "too many arguments");
+      (* The parse error names the offending token, not just the flag. *)
+      ( "malformed vf-levels",
+        "schedule --benchmark tgff:1 --dvfs --vf-levels 1,x,0.5",
+        "level \"x\" is not a number" );
     ]
   in
   List.iter
@@ -213,6 +217,57 @@ let test_routing_flag () =
   Alcotest.(check int) "bad model exit 2" 2 code;
   Alcotest.(check bool) "names --routing" true (contains stderr "--routing")
 
+let test_dvfs_flag () =
+  (* End to end: schedule, reclaim slack, re-certify, and persist the
+     scaled schedule as a version-3 file. *)
+  let sched_file = Filename.temp_file "cli_dvfs" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove sched_file)
+    (fun () ->
+      let code, text =
+        run_capture
+          (Printf.sprintf
+             "schedule --benchmark tgff:1 --tasks 30 --dvfs --save-schedule %s"
+             sched_file)
+      in
+      Alcotest.(check int) "schedule --dvfs exit 0" 0 code;
+      Alcotest.(check bool) "reports the ladder and downclocks" true
+        (contains text "dvfs: levels {1,0.8,0.6,0.5} x f_max");
+      Alcotest.(check bool) "reports reclaimed energy" true
+        (contains text "reclaimed");
+      Alcotest.(check bool) "scaled schedule re-certified" true
+        (contains text "dvfs schedule certified");
+      let saved = In_channel.with_open_text sched_file In_channel.input_all in
+      Alcotest.(check bool) "saved as format v3" true
+        (String.starts_with ~prefix:"schedule 3\n" saved);
+      Alcotest.(check bool) "dvfs annotations present" true
+        (contains saved "\ndvfs ");
+      (* The analyzer must read the v3 file back and certify the scaled
+         windows against the implied base, not the raw cost tables. *)
+      let code, text =
+        run_capture
+          (Printf.sprintf "analyze --benchmark tgff:1 --tasks 30 --schedule %s"
+             sched_file)
+      in
+      Alcotest.(check int) "analyze v3 schedule exit 0" 0 code;
+      Alcotest.(check bool) "analysis clean on a scaled schedule" true
+        (contains text "analysis clean"));
+  (* A custom ladder flows through, and --vf-levels alone is refused
+     with the uniform exit-2 discipline. *)
+  let code, text =
+    run_capture "schedule --benchmark tgff:1 --tasks 30 --dvfs --vf-levels 1,0.7"
+  in
+  Alcotest.(check int) "custom ladder exit 0" 0 code;
+  Alcotest.(check bool) "custom ladder reported" true
+    (contains text "dvfs: levels {1,0.7} x f_max");
+  let code, stdout, stderr =
+    run_shell "%s schedule --benchmark tgff:1 --tasks 30 --vf-levels 1,0.7" binary
+  in
+  Alcotest.(check int) "--vf-levels without --dvfs: exit 2" 2 code;
+  Alcotest.(check string) "stdout clean" "" stdout;
+  Alcotest.(check bool) "names the dependency" true
+    (contains stderr "--vf-levels only makes sense with --dvfs")
+
 let test_help () =
   let code, text = run_capture "--help=plain" in
   Alcotest.(check int) "exit 0" 0 code;
@@ -235,5 +290,6 @@ let suite =
     Alcotest.test_case "stdin via -" `Quick test_stdin_dash;
     Alcotest.test_case "usage errors exit 2" `Quick test_usage_errors_exit_2;
     Alcotest.test_case "routing flag" `Quick test_routing_flag;
+    Alcotest.test_case "dvfs flag" `Quick test_dvfs_flag;
     Alcotest.test_case "help" `Quick test_help;
   ]

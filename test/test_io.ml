@@ -207,6 +207,112 @@ let test_legacy_v1_load () =
       (Schedule.transactions s).(0).Schedule.route
 
 (* ------------------------------------------------------------------ *)
+(* Version-3 (DVFS-annotated) schedules *)
+
+let scaled_fixture seed =
+  let g = random_ctg seed in
+  let s = (Noc_eas.Eas.schedule platform g).Noc_eas.Eas.schedule in
+  let r = Noc_dvfs.Reclaim.run g s in
+  (g, r.Noc_dvfs.Reclaim.schedule, r.Noc_dvfs.Reclaim.annotations)
+
+let annotations_equal (a : Schedule_io.annotation array) b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (x : Schedule_io.annotation) (y : Schedule_io.annotation) ->
+         x.task = y.task && x.level = y.level
+         && Int64.bits_of_float x.freq = Int64.bits_of_float y.freq
+         && Int64.bits_of_float x.energy = Int64.bits_of_float y.energy)
+       a b
+
+let test_v3_roundtrip () =
+  let g, s, annotations = scaled_fixture 9 in
+  let text = Schedule_io.to_string ~dvfs:annotations s in
+  Alcotest.(check bool) "v3 header" true
+    (String.starts_with ~prefix:"schedule 3\n" text);
+  match Schedule_io.of_string_full platform g text with
+  | Error msg -> Alcotest.fail msg
+  | Ok (_, None) -> Alcotest.fail "annotations dropped by the round-trip"
+  | Ok (s', Some annotations') ->
+    Alcotest.(check bool) "schedule round-trips exactly" true
+      (schedules_equal s s');
+    (* Hex floats in the dvfs lines make the round-trip bit-exact, not
+       merely close. *)
+    Alcotest.(check bool) "annotations round-trip bit-exactly" true
+      (annotations_equal annotations annotations')
+
+let test_v3_file_roundtrip () =
+  let g, s, annotations = scaled_fixture 10 in
+  let path = Filename.temp_file "nocsched" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Schedule_io.save ~dvfs:annotations ~path s;
+      match Schedule_io.load_full ~path platform g with
+      | Error msg -> Alcotest.fail msg
+      | Ok (_, None) -> Alcotest.fail "annotations lost in the file"
+      | Ok (s', Some annotations') ->
+        Alcotest.(check bool) "file roundtrip" true
+          (schedules_equal s s' && annotations_equal annotations annotations'))
+
+let test_v2_loads_at_fmax () =
+  (* A v2 file (what every earlier release wrote) still loads, with no
+     annotations: every task implicitly at f_max. And without [~dvfs],
+     to_string still writes v2, so old readers keep working. *)
+  let g = random_ctg 11 in
+  let s = (Noc_eas.Eas.schedule platform g).Noc_eas.Eas.schedule in
+  let text = Schedule_io.to_string s in
+  Alcotest.(check bool) "still a v2 header" true
+    (String.starts_with ~prefix:"schedule 2\n" text);
+  match Schedule_io.of_string_full platform g text with
+  | Error msg -> Alcotest.fail msg
+  | Ok (s', annotations) ->
+    Alcotest.(check bool) "no annotations" true (annotations = None);
+    Alcotest.(check bool) "schedule intact" true (schedules_equal s s')
+
+let test_v3_parse_errors () =
+  let g, s, annotations = scaled_fixture 12 in
+  let text = Schedule_io.to_string ~dvfs:annotations s in
+  let check_error mangled fragment =
+    match Schedule_io.of_string_full platform g mangled with
+    | Ok _ -> Alcotest.fail ("parse unexpectedly succeeded; wanted " ^ fragment)
+    | Error msg ->
+      let contains =
+        let nh = String.length msg and nn = String.length fragment in
+        let rec scan i = i + nn <= nh && (String.sub msg i nn = fragment || scan (i + 1)) in
+        scan 0
+      in
+      Alcotest.(check bool) (msg ^ " mentions " ^ fragment) true contains
+  in
+  (* dvfs lines under a v2 header are an error, not silently dropped. *)
+  check_error
+    ("schedule 2\n"
+    ^ String.concat "\n" (List.tl (String.split_on_char '\n' text)))
+    "schedule 3 header";
+  (* A missing annotation (mixed coverage) is named. *)
+  let without_last_dvfs =
+    let rec drop_last_dvfs acc = function
+      | [] -> List.rev acc
+      | l :: rest
+        when String.starts_with ~prefix:"dvfs " l
+             && not (List.exists (String.starts_with ~prefix:"dvfs ") rest) ->
+        List.rev_append acc rest
+      | l :: rest -> drop_last_dvfs (l :: acc) rest
+    in
+    String.concat "\n" (drop_last_dvfs [] (String.split_on_char '\n' text))
+  in
+  check_error without_last_dvfs "missing";
+  (* Out-of-range frequency (re-annotating the dropped task, so the
+     duplicate rule stays out of the way) and duplicate task. *)
+  check_error
+    (without_last_dvfs
+    ^ Printf.sprintf "dvfs %d level 1 freq 0x1.8p+0 energy 0x1p+0\n"
+        (Ctg.n_tasks g - 1))
+    "freq";
+  check_error
+    (text ^ "dvfs 0 level 1 freq 0x1.999999999999ap-1 energy 0x1p+0\n")
+    "duplicate"
+
+(* ------------------------------------------------------------------ *)
 (* Utilization *)
 
 let test_utilization () =
@@ -271,6 +377,10 @@ let suite =
     Alcotest.test_case "schedule parse errors" `Quick test_schedule_parse_errors;
     Alcotest.test_case "detour schedule roundtrip" `Quick test_detour_schedule_roundtrip;
     Alcotest.test_case "legacy v1 schedule load" `Quick test_legacy_v1_load;
+    Alcotest.test_case "v3 dvfs roundtrip" `Quick test_v3_roundtrip;
+    Alcotest.test_case "v3 dvfs file roundtrip" `Quick test_v3_file_roundtrip;
+    Alcotest.test_case "v2 loads at f_max" `Quick test_v2_loads_at_fmax;
+    Alcotest.test_case "v3 parse errors" `Quick test_v3_parse_errors;
     Alcotest.test_case "utilization accounting" `Quick test_utilization;
     Alcotest.test_case "utilization links" `Quick test_utilization_links;
   ]

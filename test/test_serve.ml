@@ -24,10 +24,10 @@ let graph ?(tasks = 20) seed =
 let mk_state ?(capacity = 64) ?jobs () =
   Server.make_state { Server.socket_path = "unused"; capacity; jobs }
 
-let schedule_line ?(algo = Runner.Eas) ?(decisions = false) ?id ctg =
+let schedule_line ?(algo = Runner.Eas) ?(decisions = false) ?dvfs ?id ctg =
   Protocol.request_to_line ?id
     (Protocol.Schedule
-       { ctg_text = Ctg_io.to_string ctg; mesh = (4, 4); algo; decisions })
+       { ctg_text = Ctg_io.to_string ctg; mesh = (4, 4); algo; decisions; dvfs })
 
 let reschedule_line ?(algo = Runner.Eas) ?id ~faults ctg =
   Protocol.request_to_line ?id
@@ -112,7 +112,21 @@ let test_protocol_roundtrip () =
   let requests =
     [
       Protocol.Schedule
-        { ctg_text = "x\ny"; mesh = (4, 4); algo = Runner.Eas; decisions = true };
+        {
+          ctg_text = "x\ny";
+          mesh = (4, 4);
+          algo = Runner.Eas;
+          decisions = true;
+          dvfs = None;
+        };
+      Protocol.Schedule
+        {
+          ctg_text = "x";
+          mesh = (4, 4);
+          algo = Runner.Eas;
+          decisions = false;
+          dvfs = Some Noc_dvfs.Vf_table.default;
+        };
       Protocol.Simulate
         {
           ctg_text = "x";
@@ -162,7 +176,13 @@ let test_malformed_requests () =
     expect_error state
       (Protocol.request_to_line
          (Protocol.Schedule
-            { ctg_text = "garbage"; mesh = (4, 4); algo = Runner.Eas; decisions = false }))
+            {
+              ctg_text = "garbage";
+              mesh = (4, 4);
+              algo = Runner.Eas;
+              decisions = false;
+              dvfs = None;
+            }))
   in
   Alcotest.(check bool) "ctg error prefixed" true
     (String.length err >= 4 && String.sub err 0 4 = "ctg:");
@@ -189,6 +209,7 @@ let test_malformed_requests () =
                mesh = (3, 3);
                algo = Runner.Eas;
                decisions = false;
+               dvfs = None;
              })))
 
 (* ------------------------------------------------------------------ *)
@@ -463,6 +484,44 @@ let test_concurrent_clients () =
   Domain.join daemon;
   Alcotest.(check bool) "socket removed" false (Sys.file_exists socket_path)
 
+(* A --dvfs request must never be answered from the unscaled cache (or
+   vice versa): the V/f ladder is its own cache-key segment. *)
+let test_dvfs_no_cache_aliasing () =
+  let state = mk_state () in
+  let g = graph 5 in
+  let plain = expect_ok state (schedule_line g) in
+  let scaled = expect_ok state (schedule_line ~dvfs:Noc_dvfs.Vf_table.default g) in
+  Alcotest.(check bool) "keys differ" true
+    (str_member "key" plain <> str_member "key" scaled);
+  Alcotest.(check bool) "scaled reply is not the cached unscaled one" false
+    (bool_member "cached" scaled);
+  Alcotest.(check bool) "but its base schedule was reused" true
+    (bool_member "base_cached" scaled);
+  Alcotest.(check bool) "scaled schedule is format v3" true
+    (String.starts_with ~prefix:"schedule 3\n" (str_member "schedule" scaled));
+  Alcotest.(check bool) "unscaled schedule stays v2" true
+    (String.starts_with ~prefix:"schedule 2\n" (str_member "schedule" plain));
+  Alcotest.(check bool) "reclaims energy" true (num_member "reclaimed" scaled > 0.);
+  Alcotest.(check bool) "energy drops accordingly" true
+    (num_member "energy" scaled
+     < num_member "energy" plain -. (num_member "reclaimed" scaled /. 2.));
+  Alcotest.(check bool) "certified" true (bool_member "certified" scaled);
+  (* Replays hit their own entries, bit-identically. *)
+  let scaled2 = expect_ok state (schedule_line ~dvfs:Noc_dvfs.Vf_table.default g) in
+  Alcotest.(check bool) "scaled replay is a hit" true (bool_member "cached" scaled2);
+  Alcotest.(check string) "scaled replay bit-identical"
+    (str_member "schedule" scaled) (str_member "schedule" scaled2);
+  let plain2 = expect_ok state (schedule_line g) in
+  Alcotest.(check bool) "plain replay is a hit" true (bool_member "cached" plain2);
+  Alcotest.(check string) "plain replay still unscaled"
+    (str_member "schedule" plain) (str_member "schedule" plain2);
+  (* A different ladder is a different key. *)
+  let table = Result.get_ok (Noc_dvfs.Vf_table.of_string "1,0.9") in
+  let other = expect_ok state (schedule_line ~dvfs:table g) in
+  Alcotest.(check bool) "other ladder misses" false (bool_member "cached" other);
+  Alcotest.(check bool) "other ladder has its own key" true
+    (str_member "key" other <> str_member "key" scaled)
+
 let suite =
   [
     Alcotest.test_case "cache basics" `Quick test_cache_basics;
@@ -478,4 +537,6 @@ let suite =
     Alcotest.test_case "stats shape" `Quick test_stats_shape;
     Alcotest.test_case "one-shot differential" `Quick test_one_shot_differential;
     Alcotest.test_case "concurrent clients" `Quick test_concurrent_clients;
+    Alcotest.test_case "dvfs never aliases the unscaled cache" `Quick
+      test_dvfs_no_cache_aliasing;
   ]
